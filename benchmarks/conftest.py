@@ -1,0 +1,59 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Each ``test_figN_*`` module regenerates one figure of the paper's
+evaluation; the resulting series are written to
+``benchmarks/results/<figure>.txt`` and echoed to the terminal so a
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` run
+leaves both the timing table and the data behind.
+
+Scale with ``REPRO_FIG_JOBS`` (jobs per simulation, default 400) and
+``REPRO_FIG_SEEDS`` (seeds averaged per point, default 2).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Modest default so the full suite finishes in tens of minutes; raise
+# for higher-fidelity regenerations.
+os.environ.setdefault("REPRO_FIG_JOBS", "400")
+os.environ.setdefault("REPRO_FIG_SEEDS", "2")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_figure(results_dir, capsys):
+    """Persist a FigureResult's text rendering and echo it."""
+
+    def _save(result) -> str:
+        from repro.experiments.format import format_figure
+        from repro.experiments.validate import validate_figure
+
+        validation = validate_figure(result)
+        text = format_figure(result) + "\n\n" + validation.summary()
+        (results_dir / f"{result.figure}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        assert validation.invariants_ok, f"shape invariants violated:\n{validation.summary()}"
+        return text
+
+    return _save
+
+
+def run_figure_once(benchmark, fn):
+    """Run a figure generator exactly once under pytest-benchmark.
+
+    Figure regenerations take minutes; multiple rounds would be
+    pointless — the benchmark clock records the single-pass cost.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation: backfilling variant (DESIGN.md §5.3).
+
+Krevat's scheduler backfills but the paper does not say how; this bench
+compares strict FCFS, EASY (shadow-reservation) and aggressive
+backfilling on a failure-free workload — isolating the queueing policy
+from the fault machinery.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BackfillMode, SimulationConfig
+from repro.core.policies import KrevatPolicy
+from repro.core.simulator import simulate
+from repro.failures.events import FailureLog
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.workloads.models import SDSC_SP
+from repro.workloads.scaling import fit_to_machine
+from repro.workloads.synthetic import generate_workload
+
+
+def _run(mode: BackfillMode):
+    workload = fit_to_machine(generate_workload(SDSC_SP, 400, seed=0), BGL_SUPERNODE_DIMS)
+    log = FailureLog(BGL_SUPERNODE_DIMS.volume)
+    return simulate(workload, log, KrevatPolicy(), SimulationConfig(backfill=mode))
+
+
+def test_backfill_ablation(benchmark, capsys):
+    def sweep():
+        return {mode: _run(mode) for mode in BackfillMode}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[ablation: backfill]")
+        for mode, report in reports.items():
+            print(
+                f"  {mode.value:<10} slowdown={report.timing.avg_bounded_slowdown:9.2f} "
+                f"wait={report.timing.avg_wait:8.0f}s "
+                f"backfills={report.counters.backfills}"
+            )
+        print()
+    none = reports[BackfillMode.NONE]
+    easy = reports[BackfillMode.EASY]
+    aggressive = reports[BackfillMode.AGGRESSIVE]
+    # Backfilling must never lose jobs and should cut waits sharply.
+    for report in reports.values():
+        assert report.timing.n_jobs == 400
+    assert easy.timing.avg_wait < none.timing.avg_wait
+    assert aggressive.counters.backfills >= easy.counters.backfills

@@ -1,0 +1,62 @@
+"""Ablation: the checkpointing extension (paper §8 future work).
+
+Compares restart-from-scratch against periodic, prediction-driven and
+combined checkpointing under one failure trace, quantifying how much of
+the fault-aware-scheduling benefit checkpointing alone recovers.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.model import CheckpointConfig, CheckpointMode
+from repro.core.config import SimulationConfig
+from repro.core.policies import KrevatPolicy
+from repro.core.simulator import simulate
+from repro.failures.synthetic import generate_failures
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.workloads.models import SDSC_SP
+from repro.workloads.scaling import fit_to_machine
+from repro.workloads.synthetic import generate_workload
+
+VARIANTS = {
+    "none": CheckpointConfig(mode=CheckpointMode.NONE),
+    "periodic": CheckpointConfig(
+        mode=CheckpointMode.PERIODIC, interval_s=1800.0, overhead_s=60.0
+    ),
+    "predictive": CheckpointConfig(
+        mode=CheckpointMode.PREDICTIVE, overhead_s=60.0, hit_probability=0.7
+    ),
+    "both": CheckpointConfig(
+        mode=CheckpointMode.BOTH, interval_s=1800.0, overhead_s=60.0,
+        hit_probability=0.7,
+    ),
+}
+
+
+def _run(ckpt: CheckpointConfig):
+    workload = fit_to_machine(generate_workload(SDSC_SP, 300, seed=1), BGL_SUPERNODE_DIMS)
+    log = generate_failures(
+        BGL_SUPERNODE_DIMS, 40, max(workload.span * 1.5, 3600.0), seed=2
+    )
+    return simulate(workload, log, KrevatPolicy(), SimulationConfig(checkpoint=ckpt, seed=5))
+
+
+def test_checkpoint_ablation(benchmark, capsys):
+    def sweep():
+        return {name: _run(cfg) for name, cfg in VARIANTS.items()}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[ablation: checkpointing]")
+        for name, report in reports.items():
+            print(
+                f"  {name:<10} slowdown={report.timing.avg_bounded_slowdown:8.2f} "
+                f"lost_work={report.timing.total_lost_work / 3600:8.1f} node-h "
+                f"restores={report.counters.checkpoint_restores}"
+            )
+        print()
+    # Checkpointing must reduce destroyed work relative to plain restarts.
+    assert (
+        reports["both"].timing.total_lost_work
+        < reports["none"].timing.total_lost_work
+    )
+    assert reports["predictive"].counters.checkpoint_restores > 0

@@ -1,0 +1,25 @@
+"""Figure 10: utilization vs prediction accuracy (LLNL, tie-breaking),
+panels c = 1.0 and c = 1.2.
+
+Paper shape: like the balancing results, higher load shifts unused
+capacity into useful work; the tie-breaking improvements in useful work
+are smaller than balancing's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig10
+from benchmarks.conftest import run_figure_once
+
+
+def test_fig10(benchmark, save_figure):
+    result = run_figure_once(benchmark, fig10)
+    save_figure(result)
+
+    assert set(result.series) == {"llnl c=1.0", "llnl c=1.2"}
+    for rows in result.series.values():
+        for _, r in rows:
+            assert abs(r.utilized + r.unused + r.lost - 1.0) < 1e-6
+    unused_low = sum(r.unused for _, r in result.series["llnl c=1.0"])
+    unused_high = sum(r.unused for _, r in result.series["llnl c=1.2"])
+    assert unused_high < unused_low

@@ -1,0 +1,29 @@
+"""Figure 3: average bounded slowdown vs failure rate (SDSC),
+with and without prediction (a = 0.0 / 0.1 / 0.9, balancing).
+
+Paper shape: slowdown rises sharply as failures appear, then saturates;
+prediction — even at 10% confidence — recovers a large share of the
+degradation, and a=0.9 adds comparatively little over a=0.1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig3
+from benchmarks.conftest import run_figure_once
+
+
+def test_fig3(benchmark, save_figure):
+    result = run_figure_once(benchmark, fig3)
+    save_figure(result)
+
+    for label in ("a=0.0", "a=0.1", "a=0.9"):
+        series = dict(result.metric_values(label))
+        # Robust invariants only: failure-free runs kill nothing, and
+        # heavy failure injection must degrade the no-prediction curve.
+        zero, worst = series[0.0], series[4000.0]
+        assert zero > 0
+        if label == "a=0.0":
+            assert worst > zero, "failures must degrade the oblivious scheduler"
+    kills0 = [r.job_kills for _, r in result.series["a=0.0"]]
+    assert kills0[0] == 0.0
+    assert kills0[-1] > 0

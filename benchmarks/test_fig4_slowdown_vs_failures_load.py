@@ -1,0 +1,22 @@
+"""Figure 4: average bounded slowdown vs failure rate for load scales
+c = 1.0 and c = 1.2 (SDSC, balancing, a = 0.1).
+
+Paper shape: the 20% load increase amplifies the slowdown at every
+failure rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig4
+from benchmarks.conftest import run_figure_once
+
+
+def test_fig4(benchmark, save_figure):
+    result = run_figure_once(benchmark, fig4)
+    save_figure(result)
+
+    low = dict(result.metric_values("c=1.0"))
+    high = dict(result.metric_values("c=1.2"))
+    assert set(low) == set(high)
+    # Averaged across the axis, higher load must hurt.
+    assert sum(high.values()) > sum(low.values())

@@ -1,0 +1,29 @@
+"""Figure 5: utilization vs failure rate (SDSC, balancing, a = 0.1),
+panels c = 1.0 and c = 1.2.
+
+Paper shape: lost capacity grows with the failure rate; the higher load
+converts unused capacity into utilized capacity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig5
+from benchmarks.conftest import run_figure_once
+
+
+def test_fig5(benchmark, save_figure):
+    result = run_figure_once(benchmark, fig5)
+    save_figure(result)
+
+    for label in ("c=1.0", "c=1.2"):
+        rows = result.series[label]
+        for _, r in rows:
+            assert 0.0 <= r.utilized <= 1.0
+            assert abs(r.utilized + r.unused + r.lost - 1.0) < 1e-6
+        # Lost capacity at the heaviest failure rate exceeds the
+        # failure-free level.
+        assert rows[-1][1].lost > rows[0][1].lost
+    # Higher load leaves less unused capacity on average.
+    unused_low = sum(r.unused for _, r in result.series["c=1.0"])
+    unused_high = sum(r.unused for _, r in result.series["c=1.2"])
+    assert unused_high < unused_low

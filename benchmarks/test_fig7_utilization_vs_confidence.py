@@ -1,0 +1,25 @@
+"""Figure 7: utilization vs prediction confidence (SDSC, balancing),
+panels c = 1.0 and c = 1.2.
+
+Paper shape: as confidence rises, wasted (lost) work converts to useful
+work, more visibly at high load.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig7
+from benchmarks.conftest import run_figure_once
+
+
+def test_fig7(benchmark, save_figure):
+    result = run_figure_once(benchmark, fig7)
+    save_figure(result)
+
+    for label, rows in result.series.items():
+        for _, r in rows:
+            assert abs(r.utilized + r.unused + r.lost - 1.0) < 1e-6
+        # Confident prediction should not lose more capacity than no
+        # prediction (averaged over the upper half of the axis).
+        lost_none = rows[0][1].lost
+        lost_high = sum(r.lost for _, r in rows[6:]) / len(rows[6:])
+        assert lost_high <= lost_none * 1.25

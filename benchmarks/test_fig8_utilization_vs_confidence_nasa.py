@@ -1,0 +1,22 @@
+"""Figure 8: utilization vs prediction confidence (NASA, balancing),
+panels c = 1.0 and c = 1.2 — the NASA companion of Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig8
+from benchmarks.conftest import run_figure_once
+
+
+def test_fig8(benchmark, save_figure):
+    result = run_figure_once(benchmark, fig8)
+    save_figure(result)
+
+    assert set(result.series) == {"nasa c=1.0", "nasa c=1.2"}
+    for rows in result.series.values():
+        for _, r in rows:
+            assert abs(r.utilized + r.unused + r.lost - 1.0) < 1e-6
+    # Higher load utilizes more of the machine.
+    util_low = sum(r.utilized for _, r in result.series["nasa c=1.0"])
+    util_high = sum(r.utilized for _, r in result.series["nasa c=1.2"])
+    assert util_high > util_low

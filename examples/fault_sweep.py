@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Failure-rate sweep: the paper's Figure 3 in miniature.
+
+Sweeps the number of injected failures for the SDSC workload and prints
+average bounded slowdown for the fault-oblivious baseline (a=0) and the
+balancing scheduler at two prediction-confidence levels, mirroring the
+shape of Figure 3: performance degrades sharply as failures appear, and
+even 10% confidence recovers a large share of the loss.
+
+Run:  python examples/fault_sweep.py [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import SweepPoint, format_table, run_point
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    seeds = (0, 1, 2)
+    failure_axis = (0, 8, 16, 32, 64)
+    confidences = (0.0, 0.1, 0.9)
+
+    rows = []
+    for n_failures in failure_axis:
+        row: list[object] = [n_failures]
+        for a in confidences:
+            point = SweepPoint(
+                site="sdsc",
+                n_jobs=n_jobs,
+                load_scale=1.0,
+                n_failures=n_failures,
+                policy="balancing",
+                parameter=a,
+            )
+            result = run_point(point, seeds=seeds)
+            row.append(result.avg_bounded_slowdown)
+        rows.append(row)
+        print(f"  swept n_failures={n_failures}")
+
+    print()
+    print(
+        format_table(
+            rows,
+            ["failures", "slowdown a=0.0", "slowdown a=0.1", "slowdown a=0.9"],
+        )
+    )
+    print(
+        "\nExpected shape (paper Fig. 3): slowdown rises steeply with the\n"
+        "failure rate for a=0.0; prediction (even a=0.1) flattens the curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

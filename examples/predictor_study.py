@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Balancing vs tie-breaking across prediction quality (Figs. 6 & 9).
+
+For one workload and failure trace, sweeps the prediction parameter
+``a`` from 0 to 1 for both fault-aware schedulers and prints slowdown
+and utilization side by side — the comparison at the heart of the
+paper's §7.2/§7.3 discussion: balancing trades free space for
+stability, tie-breaking only ever breaks ties, so balancing wins where
+prediction is good and load is high, while tie-breaking is the safer
+conservative choice.
+
+Run:  python examples/predictor_study.py [site] [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import SweepPoint, format_table, run_point
+
+
+def main() -> None:
+    site = sys.argv[1] if len(sys.argv) > 1 else "llnl"
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+    seeds = (0, 1, 2)
+    n_failures = 24
+
+    rows = []
+    for a in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        row: list[object] = [a]
+        for policy in ("balancing", "tiebreak"):
+            point = SweepPoint(
+                site=site,
+                n_jobs=n_jobs,
+                load_scale=1.0,
+                n_failures=n_failures,
+                policy=policy,
+                parameter=a,
+            )
+            result = run_point(point, seeds=seeds)
+            row.extend([result.avg_bounded_slowdown, result.utilized, result.job_kills])
+        rows.append(row)
+        print(f"  swept a={a}")
+
+    print()
+    print(
+        format_table(
+            rows,
+            [
+                "a",
+                "bal slowdown", "bal util", "bal kills",
+                "tie slowdown", "tie util", "tie kills",
+            ],
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs. 6/9): most of the improvement arrives\n"
+        "within the first 10-20% of prediction quality; returns diminish\n"
+        "beyond that, and tie-breaking gains less than balancing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: one fault-aware scheduling simulation, end to end.
+
+Builds a synthetic SDSC-like workload, injects a bursty failure trace,
+and compares the fault-oblivious Krevat baseline against the paper's
+balancing scheduler at two prediction-confidence levels.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import quick_simulate
+
+
+def main() -> None:
+    common = dict(site="sdsc", n_jobs=300, n_failures=40, seed=3)
+
+    print("Simulating three schedulers on the same workload + failures...\n")
+    variants = {
+        "krevat": quick_simulate(policy="krevat", **common),
+        "balancing a=0.1": quick_simulate(policy="balancing", confidence=0.1, **common),
+        "balancing a=0.9": quick_simulate(policy="balancing", confidence=0.9, **common),
+    }
+
+    header = f"{'metric':<22}" + "".join(f"{name:>18}" for name in variants)
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("avg bounded slowdown", lambda r: r.timing.avg_bounded_slowdown),
+        ("avg response (s)", lambda r: r.timing.avg_response),
+        ("avg wait (s)", lambda r: r.timing.avg_wait),
+        ("utilization", lambda r: r.capacity.utilized),
+        ("lost capacity", lambda r: r.capacity.lost),
+        ("jobs killed", lambda r: float(r.counters.job_kills)),
+        ("restarts", lambda r: float(r.timing.total_restarts)),
+    ]
+    for label, get in rows:
+        print(f"{label:<22}" + "".join(f"{get(r):>18.2f}" for r in variants.values()))
+
+    base = variants["krevat"].counters.job_kills
+    best = variants["balancing a=0.9"].counters.job_kills
+    print(
+        f"\nFault prediction let the balancing scheduler dodge "
+        f"{base - best} of the baseline's {base} job kills — the paper's "
+        f"core claim, §7."
+    )
+
+
+if __name__ == "__main__":
+    main()

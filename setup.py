@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environments this reproduction targets may lack the ``wheel``
+package, which PEP-660 editable installs require.  ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation``) keeps working
+through this shim; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Common interface for free-partition finders."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import GeometryError
+from repro.geometry.partition import Partition
+from repro.geometry.torus import Torus
+
+
+class PartitionFinder(abc.ABC):
+    """Finds all free, contiguous, rectangular partitions of a given size.
+
+    Implementations must return *every* free partition of exactly
+    ``size`` nodes, as ``Partition`` objects whose bases lie inside the
+    primary torus cell.  Duplicated node sets (shapes spanning a full
+    axis) are permitted in the raw output; :meth:`find_free_unique`
+    deduplicates canonically.
+    """
+
+    #: Short name used by the registry and CLI.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def find_free(self, torus: Torus, size: int) -> list[Partition]:
+        """Return all free partitions of exactly ``size`` nodes."""
+
+    def find_free_unique(self, torus: Torus, size: int) -> list[Partition]:
+        """Like :meth:`find_free` but with one partition per node set.
+
+        Canonicalises bases along fully-spanned axes and drops duplicates,
+        preserving first-seen order.
+        """
+        seen: set[Partition] = set()
+        out: list[Partition] = []
+        for part in self.find_free(torus, size):
+            canon = part.canonical(torus.dims)
+            if canon not in seen:
+                seen.add(canon)
+                out.append(canon)
+        return out
+
+    def exists_free(self, torus: Torus, size: int) -> bool:
+        """True when at least one free partition of ``size`` exists."""
+        return bool(self.find_free(torus, size))
+
+    @staticmethod
+    def _check_size(torus: Torus, size: int) -> None:
+        if size < 1:
+            raise GeometryError(f"partition size must be positive, got {size}")
+        if size > torus.dims.volume:
+            raise GeometryError(
+                f"partition size {size} exceeds machine {torus.dims.volume}"
+            )

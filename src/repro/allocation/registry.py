@@ -1,0 +1,38 @@
+"""Name-based construction of partition finders (CLI / config plumbing)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AllocationError
+from repro.allocation.base import PartitionFinder
+from repro.allocation.naive import NaiveFinder
+from repro.allocation.pop import POPFinder
+from repro.allocation.fast import FastFinder
+
+_FINDERS: dict[str, Callable[[], PartitionFinder]] = {
+    "naive": NaiveFinder,
+    "pop": POPFinder,
+    "fast": lambda: FastFinder(vectorized=True),
+    "fast-scan": lambda: FastFinder(vectorized=False),
+}
+
+
+def available_finders() -> tuple[str, ...]:
+    """Registered finder names."""
+    return tuple(_FINDERS)
+
+
+def get_finder(name: str) -> PartitionFinder:
+    """Construct a finder by registry name.
+
+    Raises :class:`AllocationError` for unknown names, listing the valid
+    ones in the message.
+    """
+    try:
+        factory = _FINDERS[name]
+    except KeyError:
+        raise AllocationError(
+            f"unknown finder {name!r}; available: {', '.join(_FINDERS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,59 @@
+"""Post-simulation analysis: distributions, timelines and trace stats.
+
+The paper reports averages; real scheduler studies need distributions
+(slowdown is famously heavy-tailed), per-class breakdowns and
+machine-state timelines to explain *why* a policy wins.  This package
+provides those tools over :class:`~repro.metrics.report.SimulationReport`
+objects plus characterisation reports for workloads and failure logs —
+the summaries EXPERIMENTS.md quotes when comparing synthetic traces to
+the archive logs' published properties.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import (
+    DistributionSummary,
+    slowdown_distribution,
+    wait_distribution,
+    response_distribution,
+    per_size_class_summary,
+)
+from repro.analysis.timeline import (
+    TimelineEvent,
+    build_timeline,
+    queue_length_trace,
+    busy_nodes_trace,
+)
+from repro.analysis.characterize import (
+    WorkloadProfile,
+    FailureProfile,
+    characterize_workload,
+    characterize_failures,
+)
+from repro.analysis.ascii_chart import render_series, render_histogram
+from repro.analysis.compare import (
+    PairedComparison,
+    compare_reports,
+    mean_paired_comparison,
+)
+
+__all__ = [
+    "PairedComparison",
+    "compare_reports",
+    "mean_paired_comparison",
+    "DistributionSummary",
+    "slowdown_distribution",
+    "wait_distribution",
+    "response_distribution",
+    "per_size_class_summary",
+    "TimelineEvent",
+    "build_timeline",
+    "queue_length_trace",
+    "busy_nodes_trace",
+    "WorkloadProfile",
+    "FailureProfile",
+    "characterize_workload",
+    "characterize_failures",
+    "render_series",
+    "render_histogram",
+]

@@ -1,0 +1,112 @@
+"""Terminal-friendly charts for figure series and histograms.
+
+The benchmark harness prints its series as tables; these renderers add
+a quick visual: a multi-series line chart and a histogram, pure ASCII,
+no plotting stack.  Used by ``bgl-sim figure --chart`` and the figure
+result files.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_series(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render ``label -> [(x, y), ...]`` as an ASCII line chart.
+
+    Every series shares the axes; each gets the next marker character.
+    Returns the chart as a string (no trailing newline).
+    """
+    if not series:
+        raise ExperimentError("render_series needs at least one series")
+    if width < 8 or height < 4:
+        raise ExperimentError("chart too small to render")
+    points = [(x, y) for rows in series.values() for x, y in rows]
+    if not points:
+        raise ExperimentError("render_series needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, rows), marker in zip(series.items(), _MARKERS):
+        for x, y in rows:
+            if math.isnan(x) or math.isnan(y):
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_label_hi = f"{y_hi:.3g}"
+    y_label_lo = f"{y_lo:.3g}"
+    pad = max(len(y_label_hi), len(y_label_lo))
+    for i, row in enumerate(grid):
+        label = y_label_hi if i == 0 else (y_label_lo if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    left, right = f"{x_lo:.4g}", f"{x_hi:.4g}"
+    gap = max(1, width - len(left) - len(right))
+    lines.append(" " * pad + "  " + left + " " * gap + right)
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 48,
+    title: str = "",
+    log_bins: bool = False,
+) -> str:
+    """Render a horizontal-bar histogram of ``values``.
+
+    ``log_bins`` uses geometric bin edges — the right view for
+    slowdown/wait distributions, which span orders of magnitude.
+    """
+    if bins < 1:
+        raise ExperimentError("need at least one bin")
+    values = [v for v in values if not math.isnan(v)]
+    if not values:
+        raise ExperimentError("render_histogram needs at least one value")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    if log_bins:
+        if lo <= 0:
+            lo = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+        edges = [lo * (hi / lo) ** (i / bins) for i in range(bins + 1)]
+    else:
+        edges = [lo + (hi - lo) * i / bins for i in range(bins + 1)]
+    counts = [0] * bins
+    for v in values:
+        for i in range(bins):
+            if v <= edges[i + 1] or i == bins - 1:
+                counts[i] += 1
+                break
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        lines.append(f"{edges[i]:>10.3g} - {edges[i+1]:<10.3g} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Workload and failure-trace characterisation.
+
+EXPERIMENTS.md compares the synthetic traces against the published
+properties of the archive logs they stand in for; these profiles
+compute exactly the quantities quoted there (size mix, runtime
+percentiles, diurnal arrival concentration, burst structure).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.failures.events import FailureLog
+from repro.workloads.job import Workload
+from repro.workloads.models import DAY
+from repro.workloads.scaling import offered_load
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of a workload trace."""
+
+    name: str
+    n_jobs: int
+    machine_nodes: int
+    span_days: float
+    offered_load: float
+    mean_size: float
+    power_of_two_share: float
+    unit_job_share: float
+    runtime_p50: float
+    runtime_p95: float
+    mean_overestimate: float
+    daytime_arrival_share: float
+
+    def __str__(self) -> str:  # pragma: no cover - display sugar
+        return (
+            f"{self.name}: {self.n_jobs} jobs / {self.span_days:.1f} d, "
+            f"load={self.offered_load:.2f}, mean size={self.mean_size:.1f}, "
+            f"p2-share={self.power_of_two_share:.2f}"
+        )
+
+
+def characterize_workload(workload: Workload) -> WorkloadProfile:
+    """Compute a :class:`WorkloadProfile` for a trace."""
+    if len(workload) == 0:
+        return WorkloadProfile(workload.name, 0, workload.machine_nodes,
+                               0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+    sizes = np.array([j.size for j in workload], dtype=np.float64)
+    runtimes = np.array([j.runtime for j in workload])
+    estimates = np.array([j.estimate for j in workload])
+    arrivals = np.array([j.arrival for j in workload])
+    p2 = np.array([int(s) & (int(s) - 1) == 0 for s in sizes])
+    # "Daytime": arrival phase within 08:00-20:00 of the diurnal cycle.
+    phase = (arrivals % DAY) / DAY
+    daytime = ((phase >= 8 / 24) & (phase < 20 / 24)).mean()
+    return WorkloadProfile(
+        name=workload.name,
+        n_jobs=len(workload),
+        machine_nodes=workload.machine_nodes,
+        span_days=workload.span / DAY,
+        offered_load=offered_load(workload),
+        mean_size=float(sizes.mean()),
+        power_of_two_share=float(p2.mean()),
+        unit_job_share=float((sizes == 1).mean()),
+        runtime_p50=float(np.percentile(runtimes, 50)),
+        runtime_p95=float(np.percentile(runtimes, 95)),
+        mean_overestimate=float((estimates / runtimes).mean()),
+        daytime_arrival_share=float(daytime),
+    )
+
+
+@dataclass(frozen=True)
+class FailureProfile:
+    """Summary statistics of a failure trace."""
+
+    n_events: int
+    n_nodes: int
+    span_days: float
+    failures_per_machine_day: float
+    n_bursts: int
+    mean_burst_size: float
+    max_burst_size: int
+    distinct_nodes: int
+    top_node_share: float  # share of events on the single flakiest node
+
+    def __str__(self) -> str:  # pragma: no cover - display sugar
+        return (
+            f"{self.n_events} events / {self.span_days:.1f} d "
+            f"({self.failures_per_machine_day:.2f}/day), "
+            f"{self.n_bursts} bursts (mean {self.mean_burst_size:.1f})"
+        )
+
+
+def characterize_failures(
+    log: FailureLog, burst_gap_s: float = 600.0
+) -> FailureProfile:
+    """Compute a :class:`FailureProfile`.
+
+    Events closer than ``burst_gap_s`` to their predecessor belong to
+    the same burst — the clustering statistic behind the paper's
+    slowdown-saturation explanation (§7.1).
+    """
+    n = len(log)
+    if n == 0:
+        return FailureProfile(0, log.n_nodes, 0.0, 0.0, 0, 0.0, 0, 0, 0.0)
+    gaps = np.diff(log.times)
+    burst_breaks = int((gaps > burst_gap_s).sum())
+    n_bursts = burst_breaks + 1
+    # burst sizes from break positions
+    sizes = np.diff(np.concatenate(([0], np.nonzero(gaps > burst_gap_s)[0] + 1, [n])))
+    counts = log.per_node_counts()
+    span_days = log.span / DAY if log.span > 0 else 0.0
+    per_day = n / span_days if span_days > 0 else math.inf
+    return FailureProfile(
+        n_events=n,
+        n_nodes=log.n_nodes,
+        span_days=span_days,
+        failures_per_machine_day=per_day if span_days > 0 else 0.0,
+        n_bursts=n_bursts,
+        mean_burst_size=float(sizes.mean()),
+        max_burst_size=int(sizes.max()),
+        distinct_nodes=int((counts > 0).sum()),
+        top_node_share=float(counts.max()) / n,
+    )

@@ -1,0 +1,140 @@
+"""Paired policy comparison.
+
+The statistically sound way to compare schedulers on noisy workloads is
+*paired*: run both policies on the identical workload and failure trace
+(same seed), difference the per-job metrics, and aggregate the deltas.
+Between-seed variance — which dwarfs the policy effect at small scale —
+cancels out of the pairing.  This module wraps that procedure and is
+what `examples/policy_comparison.py` and ad-hoc studies should use
+instead of eyeballing two independent averages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.metrics.report import SimulationReport
+from repro.metrics.timing import BoundedSlowdownRule, GAMMA_SECONDS
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Per-job paired deltas between two runs of the same scenario.
+
+    Deltas are ``candidate - baseline``: negative response/slowdown
+    deltas mean the candidate policy served jobs faster.
+    """
+
+    baseline_policy: str
+    candidate_policy: str
+    n_jobs: int
+    mean_response_delta: float
+    mean_slowdown_delta: float
+    jobs_improved: int       # candidate strictly faster (response)
+    jobs_regressed: int      # candidate strictly slower
+    kills_delta: int         # candidate kills - baseline kills
+    lost_work_delta: float   # node-seconds
+    utilized_delta: float
+
+    @property
+    def jobs_unchanged(self) -> int:
+        return self.n_jobs - self.jobs_improved - self.jobs_regressed
+
+    def summary(self) -> str:
+        if abs(self.mean_response_delta) < 0.5:
+            sign = "matches"
+        elif self.mean_response_delta < 0:
+            sign = "improves"
+        else:
+            sign = "regresses"
+        return (
+            f"{self.candidate_policy} vs {self.baseline_policy}: "
+            f"{sign} mean response by {abs(self.mean_response_delta):.0f}s "
+            f"({self.jobs_improved} jobs faster / {self.jobs_regressed} slower "
+            f"of {self.n_jobs}); kills {self.kills_delta:+d}, "
+            f"slowdown delta {self.mean_slowdown_delta:+.2f}, "
+            f"utilization {self.utilized_delta:+.3f}"
+        )
+
+
+def compare_reports(
+    baseline: SimulationReport,
+    candidate: SimulationReport,
+    gamma: float = GAMMA_SECONDS,
+    rule: BoundedSlowdownRule = BoundedSlowdownRule.STANDARD,
+    response_tolerance_s: float = 1.0,
+) -> PairedComparison:
+    """Pair two reports job-by-job and aggregate the deltas.
+
+    Both reports must cover the same job set (same workload); run them
+    with identical seeds so the pairing actually cancels the shared
+    randomness.
+    """
+    base = {r.job_id: r for r in baseline.records}
+    cand = {r.job_id: r for r in candidate.records}
+    if set(base) != set(cand):
+        raise ExperimentError(
+            "paired comparison needs identical job sets "
+            f"({len(base)} vs {len(cand)} jobs, "
+            f"{len(set(base) ^ set(cand))} mismatched ids)"
+        )
+    if not base:
+        raise ExperimentError("cannot compare empty reports")
+    response_deltas = []
+    slowdown_deltas = []
+    improved = regressed = 0
+    for job_id, b in base.items():
+        c = cand[job_id]
+        d_resp = c.response - b.response
+        response_deltas.append(d_resp)
+        slowdown_deltas.append(c.slowdown(gamma, rule) - b.slowdown(gamma, rule))
+        if d_resp < -response_tolerance_s:
+            improved += 1
+        elif d_resp > response_tolerance_s:
+            regressed += 1
+    n = len(base)
+    return PairedComparison(
+        baseline_policy=baseline.policy,
+        candidate_policy=candidate.policy,
+        n_jobs=n,
+        mean_response_delta=math.fsum(response_deltas) / n,
+        mean_slowdown_delta=math.fsum(slowdown_deltas) / n,
+        jobs_improved=improved,
+        jobs_regressed=regressed,
+        kills_delta=candidate.counters.job_kills - baseline.counters.job_kills,
+        lost_work_delta=(
+            candidate.timing.total_lost_work - baseline.timing.total_lost_work
+        ),
+        utilized_delta=candidate.capacity.utilized - baseline.capacity.utilized,
+    )
+
+
+def mean_paired_comparison(
+    comparisons: Sequence[PairedComparison],
+) -> PairedComparison:
+    """Average paired comparisons across seeds (same policy pair)."""
+    if not comparisons:
+        raise ExperimentError("need at least one comparison")
+    first = comparisons[0]
+    for c in comparisons[1:]:
+        if (c.baseline_policy, c.candidate_policy) != (
+            first.baseline_policy,
+            first.candidate_policy,
+        ):
+            raise ExperimentError("comparisons mix different policy pairs")
+    n = len(comparisons)
+    return PairedComparison(
+        baseline_policy=first.baseline_policy,
+        candidate_policy=first.candidate_policy,
+        n_jobs=round(sum(c.n_jobs for c in comparisons) / n),
+        mean_response_delta=math.fsum(c.mean_response_delta for c in comparisons) / n,
+        mean_slowdown_delta=math.fsum(c.mean_slowdown_delta for c in comparisons) / n,
+        jobs_improved=round(sum(c.jobs_improved for c in comparisons) / n),
+        jobs_regressed=round(sum(c.jobs_regressed for c in comparisons) / n),
+        kills_delta=round(sum(c.kills_delta for c in comparisons) / n),
+        lost_work_delta=math.fsum(c.lost_work_delta for c in comparisons) / n,
+        utilized_delta=math.fsum(c.utilized_delta for c in comparisons) / n,
+    )

@@ -1,0 +1,116 @@
+"""Machine-state timelines reconstructed from job records.
+
+A :class:`~repro.metrics.report.SimulationReport` carries per-job
+start/finish times; from those (plus arrivals) we can rebuild
+piecewise-constant traces of queue length and busy nodes without
+re-running the simulation.  The traces are approximate where restarts
+occurred (only the final execution of each job is recorded) — exact
+enough for the visual sanity checks and utilization cross-checks they
+exist for, and the deviation is bounded by the recorded lost work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.timing import JobRecord
+
+
+class TimelineKind(enum.Enum):
+    """What happened at a timeline event."""
+
+    ARRIVAL = "arrival"
+    START = "start"
+    FINISH = "finish"
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """One reconstructed state change."""
+
+    time: float
+    kind: TimelineKind
+    job_id: int
+    size: int
+
+
+def build_timeline(records: Sequence[JobRecord]) -> list[TimelineEvent]:
+    """Chronological arrival/start/finish events for completed jobs."""
+    events: list[TimelineEvent] = []
+    for r in records:
+        events.append(TimelineEvent(r.arrival, TimelineKind.ARRIVAL, r.job_id, r.size))
+        events.append(TimelineEvent(r.start, TimelineKind.START, r.job_id, r.size))
+        events.append(TimelineEvent(r.finish, TimelineKind.FINISH, r.job_id, r.size))
+    events.sort(key=lambda e: (e.time, e.kind.value, e.job_id))
+    return events
+
+
+def queue_length_trace(records: Sequence[JobRecord]) -> list[tuple[float, int]]:
+    """Piecewise-constant number of waiting jobs over time.
+
+    A job waits from its arrival until its (final) start; restart waits
+    in between are folded into that interval, which matches how the
+    response-time metrics account them.
+    """
+    trace: list[tuple[float, int]] = []
+    waiting = 0
+    for event in build_timeline(records):
+        if event.kind is TimelineKind.ARRIVAL:
+            waiting += 1
+        elif event.kind is TimelineKind.START:
+            waiting -= 1
+        else:
+            continue
+        if trace and trace[-1][0] == event.time:
+            trace[-1] = (event.time, waiting)
+        else:
+            trace.append((event.time, waiting))
+    return trace
+
+
+def busy_nodes_trace(records: Sequence[JobRecord]) -> list[tuple[float, int]]:
+    """Piecewise-constant busy-node count over time (final executions)."""
+    trace: list[tuple[float, int]] = []
+    busy = 0
+    for event in build_timeline(records):
+        if event.kind is TimelineKind.START:
+            busy += event.size
+        elif event.kind is TimelineKind.FINISH:
+            busy -= event.size
+        else:
+            continue
+        if trace and trace[-1][0] == event.time:
+            trace[-1] = (event.time, busy)
+        else:
+            trace.append((event.time, busy))
+    return trace
+
+
+def peak_queue_length(records: Sequence[JobRecord]) -> int:
+    """Maximum simultaneous waiting jobs."""
+    trace = queue_length_trace(records)
+    return max((q for _, q in trace), default=0)
+
+
+def mean_busy_nodes(records: Sequence[JobRecord]) -> float:
+    """Time-averaged busy nodes over [first arrival, last finish].
+
+    Cross-checks ω_util: for failure-free runs
+    ``mean_busy / N == utilized`` exactly.
+    """
+    if not records:
+        return 0.0
+    trace = busy_nodes_trace(records)
+    start = min(r.arrival for r in records)
+    end = max(r.finish for r in records)
+    if end <= start:
+        return 0.0
+    total = 0.0
+    last_t, last_v = start, 0
+    for t, v in trace:
+        total += (t - last_t) * last_v
+        last_t, last_v = t, v
+    total += (end - last_t) * last_v
+    return total / (end - start)

@@ -1,0 +1,121 @@
+"""High-level one-call entry points.
+
+These wrap the full pipeline — synthesize (or load) a workload, generate
+a matched failure log, build a policy, run the simulator — behind two
+functions.  The experiment harness in :mod:`repro.experiments` is built
+on the same :class:`SimulationSetup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.core.config import SimulationConfig
+from repro.core.policies.registry import make_policy
+from repro.core.simulator import simulate
+from repro.failures.events import FailureLog
+from repro.failures.synthetic import BurstFailureModel, generate_failures
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.metrics.report import SimulationReport
+from repro.prediction.base import PartitionFailureRule
+from repro.workloads.job import Workload
+from repro.workloads.models import site_model
+from repro.workloads.scaling import fit_to_machine, scale_load
+from repro.workloads.synthetic import generate_workload
+
+
+@dataclass(frozen=True)
+class SimulationSetup:
+    """A fully-specified experiment point.
+
+    Parameters mirror the paper's sweep axes: workload site, job count,
+    load scale ``c``, failure count, policy and its prediction parameter
+    ``a`` (confidence for balancing, accuracy for tie-break).
+    """
+
+    site: str = "sdsc"
+    n_jobs: int = 1000
+    load_scale: float = 1.0
+    n_failures: int = 1000
+    policy: str = "balancing"
+    parameter: float = 0.0
+    pf_rule: PartitionFailureRule = PartitionFailureRule.MAX
+    seed: int = 0
+    failure_model: BurstFailureModel = field(default_factory=BurstFailureModel)
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def build_workload(self) -> Workload:
+        """Synthesize, load-scale and machine-fit the workload."""
+        model = site_model(self.site)
+        workload = generate_workload(model, self.n_jobs, seed=self.seed)
+        workload = scale_load(workload, self.load_scale)
+        return fit_to_machine(workload, self.config.dims)
+
+    def build_failures(self, workload: Workload) -> FailureLog:
+        """Failure log spanning the workload (plus tail slack for jobs
+        still running after the last arrival)."""
+        horizon = max(workload.span * 1.5, 3600.0)
+        return generate_failures(
+            self.config.dims,
+            self.n_failures,
+            horizon,
+            model=self.failure_model,
+            seed=self.seed + 1,  # decorrelated from the workload draw
+        )
+
+    def run(self) -> SimulationReport:
+        """Execute this experiment point."""
+        workload = self.build_workload()
+        failures = self.build_failures(workload)
+        policy = make_policy(
+            self.policy,
+            failure_log=failures,
+            parameter=self.parameter,
+            pf_rule=self.pf_rule,
+            seed=self.seed + 2,
+        )
+        report = simulate(workload, failures, policy, self.config)
+        report.parameters.update(
+            site=self.site,
+            n_jobs=self.n_jobs,
+            load_scale=self.load_scale,
+            parameter=self.parameter,
+            seed=self.seed,
+        )
+        return report
+
+
+def run_simulation(setup: SimulationSetup) -> SimulationReport:
+    """Run one fully-specified experiment point."""
+    return setup.run()
+
+
+def quick_simulate(
+    site: str = "sdsc",
+    n_jobs: int = 500,
+    n_failures: int = 500,
+    policy: str = "balancing",
+    confidence: float = 0.1,
+    load_scale: float = 1.0,
+    seed: int = 0,
+    config: SimulationConfig | None = None,
+) -> SimulationReport:
+    """One-liner used by the README quickstart.
+
+    ``confidence`` is the paper's ``a`` (accuracy when
+    ``policy='tiebreak'``, ignored by ``'krevat'``).
+    """
+    if n_jobs < 0 or n_failures < 0:
+        raise SimulationError("n_jobs and n_failures must be >= 0")
+    setup = SimulationSetup(
+        site=site,
+        n_jobs=n_jobs,
+        n_failures=n_failures,
+        policy=policy,
+        parameter=confidence,
+        load_scale=load_scale,
+        seed=seed,
+        config=config or SimulationConfig(),
+    )
+    return setup.run()

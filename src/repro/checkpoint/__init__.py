@@ -1,0 +1,15 @@
+"""Checkpointing — the paper's future-work extension (§8).
+
+The base paper evaluates *no-checkpoint* runs (every failure restarts a
+job from scratch).  Its conclusions sketch the next step: adapt
+checkpointing intervals and overheads to the prediction confidence.
+This subpackage implements that extension so the ablation benchmarks can
+quantify how much of the fault-aware scheduling benefit checkpointing
+recovers on its own.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.model import CheckpointConfig, CheckpointMode, CheckpointModel
+
+__all__ = ["CheckpointConfig", "CheckpointMode", "CheckpointModel"]

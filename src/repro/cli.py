@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+::
+
+    bgl-sim run     --site sdsc --policy balancing --parameter 0.1 ...
+    bgl-sim figure  fig3 [--jobs 500] [--seeds 2]
+    bgl-sim figures            # list regenerable figures
+    bgl-sim sites              # list workload site models
+    bgl-sim swf PATH ...       # simulate a real SWF trace file
+
+(`python -m repro` is equivalent.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bgl-sim",
+        description=(
+            "Fault-aware BlueGene/L job-scheduling simulator "
+            "(reproduction of Oliner et al., IPPS 2004)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation point")
+    run.add_argument("--site", default="sdsc", help="workload model (nasa/sdsc/llnl)")
+    run.add_argument("--jobs", type=int, default=500, help="number of jobs")
+    run.add_argument("--failures", type=int, default=50, help="failure events")
+    run.add_argument(
+        "--policy", default="balancing", help="krevat / balancing / tiebreak"
+    )
+    run.add_argument(
+        "--parameter",
+        type=float,
+        default=0.1,
+        help="prediction confidence (balancing) or accuracy (tiebreak)",
+    )
+    run.add_argument("--load", type=float, default=1.0, help="load scale c")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--detail",
+        action="store_true",
+        help="print slowdown/wait distributions and per-size breakdown",
+    )
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("name", help="fig3 .. fig10")
+    fig.add_argument("--jobs", type=int, default=None)
+    fig.add_argument("--seeds", type=int, default=None, help="number of seeds")
+    fig.add_argument("--chart", action="store_true", help="render an ASCII chart")
+
+    sub.add_parser("figures", help="list regenerable figures")
+    sub.add_parser("sites", help="list bundled workload site models")
+
+    cmp = sub.add_parser(
+        "compare", help="paired comparison of two policies on one scenario"
+    )
+    cmp.add_argument("--site", default="sdsc")
+    cmp.add_argument("--jobs", type=int, default=300)
+    cmp.add_argument("--failures", type=int, default=30)
+    cmp.add_argument("--baseline", default="krevat")
+    cmp.add_argument("--candidate", default="balancing")
+    cmp.add_argument("--parameter", type=float, default=0.1,
+                     help="prediction parameter for the candidate policy")
+    cmp.add_argument("--seeds", type=int, default=3)
+    cmp.add_argument("--load", type=float, default=1.0)
+
+    char = sub.add_parser(
+        "characterize", help="profile a workload model or SWF trace"
+    )
+    char.add_argument("--site", default=None, help="bundled site model to profile")
+    char.add_argument("--swf", default=None, help="SWF file to profile")
+    char.add_argument("--jobs", type=int, default=1000)
+    char.add_argument("--failures", type=int, default=200)
+    char.add_argument("--seed", type=int, default=0)
+
+    swf = sub.add_parser("swf", help="simulate a real SWF trace file")
+    swf.add_argument("path", help="SWF file (Parallel Workloads Archive format)")
+    swf.add_argument("--head", type=int, default=0, help="only the first N jobs")
+    swf.add_argument("--failures", type=int, default=50)
+    swf.add_argument("--policy", default="balancing")
+    swf.add_argument("--parameter", type=float, default=0.1)
+    swf.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import quick_simulate
+
+    report = quick_simulate(
+        site=args.site,
+        n_jobs=args.jobs,
+        n_failures=args.failures,
+        policy=args.policy,
+        confidence=args.parameter,
+        load_scale=args.load,
+        seed=args.seed,
+    )
+    print(report.summary_line())
+    t, c = report.timing, report.capacity
+    print(
+        f"  wait={t.avg_wait:.0f}s response={t.avg_response:.0f}s "
+        f"slowdown={t.avg_bounded_slowdown:.2f} restarts={t.total_restarts}"
+    )
+    print(f"  capacity: {c}")
+    print(f"  counters: {report.counters}")
+    if args.detail:
+        from repro.analysis import (
+            per_size_class_summary,
+            render_histogram,
+            slowdown_distribution,
+            wait_distribution,
+        )
+
+        print("\nDistributions:")
+        print(" ", slowdown_distribution(report.records))
+        print(" ", wait_distribution(report.records))
+        print("\nSlowdown by job-size class:")
+        for label, summary in per_size_class_summary(report.records).items():
+            print(f"  {label:>7}: n={summary.n:<5} mean={summary.mean:8.2f} "
+                  f"p95={summary.percentiles[95]:8.2f}")
+        print("\n" + render_histogram(
+            [r.slowdown() for r in report.records],
+            bins=8, log_bins=True, title="bounded slowdown histogram",
+        ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import format_figure, run_figure
+
+    from repro.experiments.validate import validate_figure
+
+    seeds = tuple(range(args.seeds)) if args.seeds else None
+    result = run_figure(args.name, n_jobs=args.jobs, seeds=seeds)
+    print(format_figure(result))
+    print()
+    print(validate_figure(result).summary())
+    if args.chart:
+        from repro.analysis import render_series
+
+        series = {
+            label: result.metric_values(label) for label in result.series
+        }
+        print()
+        print(render_series(series, title=f"{result.figure}: {result.metric}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_reports, mean_paired_comparison
+    from repro.api import SimulationSetup
+
+    comparisons = []
+    for seed in range(args.seeds):
+        common = dict(
+            site=args.site, n_jobs=args.jobs, n_failures=args.failures,
+            load_scale=args.load, seed=seed,
+        )
+        base = SimulationSetup(policy=args.baseline, parameter=0.0, **common).run()
+        cand = SimulationSetup(
+            policy=args.candidate, parameter=args.parameter, **common
+        ).run()
+        pair = compare_reports(base, cand)
+        comparisons.append(pair)
+        print(f"seed {seed}: {pair.summary()}")
+    print("\nmean over seeds:")
+    print(" ", mean_paired_comparison(comparisons).summary())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis import characterize_failures, characterize_workload
+    from repro.core.config import SimulationConfig
+    from repro.failures.synthetic import generate_failures
+    from repro.workloads.scaling import fit_to_machine
+    from repro.workloads.swf import read_swf
+    from repro.workloads.synthetic import generate_workload
+    from repro.workloads.models import site_model
+
+    config = SimulationConfig()
+    if args.swf:
+        workload = read_swf(args.swf)
+    else:
+        workload = generate_workload(
+            site_model(args.site or "sdsc"), args.jobs, seed=args.seed
+        )
+    workload = fit_to_machine(workload, config.dims)
+    profile = characterize_workload(workload)
+    print("Workload profile:")
+    for field_name in profile.__dataclass_fields__:
+        print(f"  {field_name:<24} {getattr(profile, field_name)}")
+    horizon = max(workload.span * 1.5, 3600.0)
+    failures = generate_failures(config.dims, args.failures, horizon, seed=args.seed + 1)
+    fprofile = characterize_failures(failures)
+    print("\nMatched synthetic failure-trace profile:")
+    for field_name in fprofile.__dataclass_fields__:
+        print(f"  {field_name:<24} {getattr(fprofile, field_name)}")
+    return 0
+
+
+def _cmd_figures() -> int:
+    from repro.experiments import figure_registry
+
+    for name in figure_registry():
+        print(name)
+    return 0
+
+
+def _cmd_sites() -> int:
+    from repro.workloads import available_sites, site_model
+
+    for name in available_sites():
+        model = site_model(name)
+        print(
+            f"{name:<6} machine={model.machine_nodes:<4} "
+            f"interarrival={model.mean_interarrival_s:.0f}s "
+            f"p2={model.p_power_of_two:.2f}"
+        )
+    return 0
+
+
+def _cmd_swf(args: argparse.Namespace) -> int:
+    from repro.core.config import SimulationConfig
+    from repro.core.policies.registry import make_policy
+    from repro.core.simulator import simulate
+    from repro.failures.synthetic import generate_failures
+    from repro.workloads.scaling import fit_to_machine
+    from repro.workloads.swf import read_swf
+
+    config = SimulationConfig()
+    workload = read_swf(args.path)
+    if args.head:
+        workload = workload.head(args.head)
+    workload = fit_to_machine(workload, config.dims)
+    horizon = max(workload.span * 1.5, 3600.0)
+    failures = generate_failures(config.dims, args.failures, horizon, seed=args.seed)
+    policy = make_policy(
+        args.policy, failure_log=failures, parameter=args.parameter, seed=args.seed
+    )
+    report = simulate(workload, failures, policy, config)
+    print(report.summary_line())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "sites":
+        return _cmd_sites()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "swf":
+        return _cmd_swf(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

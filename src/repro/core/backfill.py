@@ -1,0 +1,57 @@
+"""EASY-backfilling shadow-time computation.
+
+When the queue head cannot start, EASY backfilling grants it a
+*reservation*: the earliest time a partition of its size becomes free
+assuming running jobs finish at their estimated times.  Later jobs may
+start out of order only if their estimated finish does not exceed that
+shadow time, so they can never delay the head (under truthful
+estimates).
+
+On a torus, "enough nodes free" is not "a partition free" — the shadow
+time must honour the rectangular-partition constraint.  We therefore
+replay hypothetical releases on a scratch grid in estimated-finish order
+and ask the real partition machinery after each release.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.allocation.mfp import PlacementIndex
+from repro.core.jobstate import JobState
+from repro.geometry.torus import Torus
+
+
+def shadow_time(
+    torus: Torus,
+    running: Iterable[JobState],
+    head_size: int,
+    now: float,
+) -> float:
+    """Earliest estimated time a free partition of ``head_size`` exists.
+
+    Returns ``now`` when one already exists, ``math.inf`` when even a
+    fully drained machine has none (an unschedulable size — the engine
+    treats that as a hard error upstream).
+    """
+    scratch = Torus(torus.dims)
+    scratch.grid[...] = torus.grid
+    if PlacementIndex(scratch).has_candidate(head_size):
+        return now
+    ordered = sorted(
+        (js for js in running if js.running),
+        key=lambda js: (js.est_finish, js.job_id),
+    )
+    for js in ordered:
+        partition = torus.allocation_of(js.job_id)
+        scratch.grid[_selector(scratch, partition)] = -1
+        if PlacementIndex(scratch).has_candidate(head_size):
+            return max(now, js.est_finish)
+    return math.inf
+
+
+def _selector(torus: Torus, partition):
+    import numpy as np
+
+    return np.ix_(*partition.axis_ranges(torus.dims))

@@ -1,0 +1,65 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.checkpoint.model import CheckpointConfig
+from repro.errors import SimulationError
+from repro.geometry.coords import BGL_SUPERNODE_DIMS, TorusDims
+from repro.metrics.timing import BoundedSlowdownRule, GAMMA_SECONDS
+
+
+class BackfillMode(enum.Enum):
+    """Backfilling variant used by the FCFS scheduler.
+
+    Krevat's scheduler backfills but the exact variant is unspecified
+    (DESIGN.md §5.3):
+
+    * ``NONE`` — strict FCFS: nothing starts before the queue head.
+    * ``EASY`` — later jobs may start now only if their *estimated*
+      finish does not exceed the head's shadow time (the earliest
+      instant the head could start given estimated finishes).
+    * ``AGGRESSIVE`` — any waiting job with a free partition starts.
+    """
+
+    NONE = "none"
+    EASY = "easy"
+    AGGRESSIVE = "aggressive"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything configurable about one simulation run.
+
+    Defaults reproduce the paper's setup: the 4x4x8 supernode torus,
+    EASY backfilling, migration on (the balancing scheduler "includes
+    backfilling and migration"), zero migration cost (no checkpoint
+    overhead is modelled in the base paper) and no checkpointing.
+    """
+
+    dims: TorusDims = BGL_SUPERNODE_DIMS
+    backfill: BackfillMode = BackfillMode.EASY
+    migration: bool = True
+    #: Wall seconds added to every migrated job's completion (the paper's
+    #: no-checkpoint runs migrate for free; expose the knob for ablation).
+    migration_cost_s: float = 0.0
+    gamma: float = GAMMA_SECONDS
+    slowdown_rule: BoundedSlowdownRule = BoundedSlowdownRule.STANDARD
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    #: Seed for engine-internal randomness (checkpoint prediction hits).
+    seed: int = 0
+    #: Re-verify torus invariants after every scheduler pass (slow; for
+    #: tests and debugging).
+    strict_invariants: bool = False
+    #: Hard cap on processed events, guarding against livelock bugs.
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.migration_cost_s < 0:
+            raise SimulationError("migration_cost_s must be >= 0")
+        if self.gamma <= 0:
+            raise SimulationError("gamma must be positive")
+        if self.max_events < 1:
+            raise SimulationError("max_events must be positive")

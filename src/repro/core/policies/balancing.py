@@ -1,0 +1,56 @@
+"""The balancing algorithm — §5.2.1 of the paper.
+
+For each candidate partition ``P`` the policy computes the total
+expected loss
+
+    ``E_loss = L_MFP + L_PF``,  with  ``L_PF = P_f · s_j``,
+
+where ``L_MFP`` is the MFP shrinkage caused by the placement and ``P_f``
+the predicted probability that ``P`` fails before the job's estimated
+completion (worst case: the job dies just before finishing, losing
+``s_j``-node-sized work).  The candidate minimising ``E_loss`` wins;
+ties prefer the more stable partition (lower ``P_f``), then enumeration
+order.
+
+With confidence 0 every ``P_f`` is 0 and the policy degenerates exactly
+to the Krevat baseline — the sweeps' ``a = 0`` point.
+"""
+
+from __future__ import annotations
+
+from repro.allocation.mfp import PlacementIndex
+from repro.core.jobstate import JobState
+from repro.core.policies.base import SchedulingPolicy
+from repro.geometry.partition import Partition
+from repro.prediction.base import Predictor
+
+
+class BalancingPolicy(SchedulingPolicy):
+    """Fault-aware placement balancing MFP loss against failure loss."""
+
+    name = "balancing"
+
+    def __init__(self, predictor: Predictor) -> None:
+        self.predictor = predictor
+
+    def begin_pass(self, now: float) -> None:
+        self.predictor.begin_pass(now)
+
+    def choose_partition(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        scored, _ = self.min_loss_candidates(index, state.size)
+        if not scored:
+            return None
+        window_end = now + max(state.remaining_estimate, 1.0)
+        best: Partition | None = None
+        best_key: tuple[float, float] | None = None
+        for partition, mfp_loss in scored:
+            p_f = self.predictor.partition_failure_probability(
+                partition, index.dims, now, window_end
+            )
+            e_loss = mfp_loss + p_f * state.size
+            key = (e_loss, p_f)
+            if best_key is None or key < best_key:
+                best, best_key = partition, key
+        return best

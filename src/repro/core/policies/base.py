@@ -1,0 +1,49 @@
+"""Placement-policy interface.
+
+A policy answers exactly one question: *given the current machine state,
+which free partition should this job get?*  Queueing order, backfilling
+and migration live in the engine; only the partition choice differs
+between the paper's three schedulers.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.allocation.mfp import PlacementIndex
+from repro.core.jobstate import JobState
+from repro.geometry.partition import Partition
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses a partition for a job from the current free set."""
+
+    #: Registry/CLI name.
+    name: str = "abstract"
+
+    def begin_pass(self, now: float) -> None:
+        """Hook invoked once per scheduler pass (reset per-pass caches)."""
+
+    @abc.abstractmethod
+    def choose_partition(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        """Pick a partition of ``state.size`` nodes, or None to leave the
+        job waiting (only when no free partition exists — the paper's
+        policies always place when they can)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def min_loss_candidates(
+        index: PlacementIndex, size: int
+    ) -> tuple[list[tuple[Partition, int]], int]:
+        """All candidates paired with their ``L_MFP``, plus the minimum.
+
+        Shared by every policy: the Krevat heuristic prefers minimal MFP
+        loss, and both fault-aware policies start from the same scored
+        list.
+        """
+        scored = index.scored_candidates(size)
+        if not scored:
+            return [], 0
+        return scored, min(loss for _, loss in scored)

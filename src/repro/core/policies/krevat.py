@@ -1,0 +1,32 @@
+"""Fault-oblivious baseline placement — Krevat's MFP heuristic (§5.1).
+
+Among all free partitions of the job's size, pick the one whose
+allocation least reduces the maximal free partition (smallest
+``L_MFP``), preserving room for the next job in the queue.  Ties break
+deterministically on the finder's enumeration order (shape order, then
+base order) so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.allocation.mfp import PlacementIndex
+from repro.core.jobstate import JobState
+from repro.core.policies.base import SchedulingPolicy
+from repro.geometry.partition import Partition
+
+
+class KrevatPolicy(SchedulingPolicy):
+    """FCFS + MFP placement with no fault awareness."""
+
+    name = "krevat"
+
+    def choose_partition(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        scored, min_loss = self.min_loss_candidates(index, state.size)
+        if not scored:
+            return None
+        for partition, loss in scored:
+            if loss == min_loss:
+                return partition
+        return None  # pragma: no cover - min always present

@@ -1,0 +1,52 @@
+"""The tie-breaking algorithm — §5.2.2 of the paper.
+
+Keep the Krevat heuristic's choice set — the candidates of minimal
+``L_MFP`` — and use the boolean tie-breaking predictor only to choose
+*among* them: prefer a tied partition predicted not to fail during the
+job's estimated execution.  When every tied candidate is predicted to
+fail the choice is arbitrary (first in enumeration order), exactly as
+the paper specifies.
+
+Unlike the balancing policy this never trades free space for stability:
+with accuracy 0 (or no upcoming failures) it is bit-for-bit the Krevat
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.allocation.mfp import PlacementIndex
+from repro.core.jobstate import JobState
+from repro.core.policies.base import SchedulingPolicy
+from repro.geometry.partition import Partition
+from repro.prediction.base import Predictor
+
+
+class TieBreakPolicy(SchedulingPolicy):
+    """Krevat placement with fault-prediction tie-breaking."""
+
+    name = "tiebreak"
+
+    def __init__(self, predictor: Predictor) -> None:
+        self.predictor = predictor
+
+    def begin_pass(self, now: float) -> None:
+        self.predictor.begin_pass(now)
+
+    def choose_partition(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        scored, min_loss = self.min_loss_candidates(index, state.size)
+        if not scored:
+            return None
+        window_end = now + max(state.remaining_estimate, 1.0)
+        fallback: Partition | None = None
+        for partition, loss in scored:
+            if loss != min_loss:
+                continue
+            if fallback is None:
+                fallback = partition
+            if not self.predictor.predicts_failure(
+                partition, index.dims, now, window_end
+            ):
+                return partition
+        return fallback

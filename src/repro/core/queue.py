@@ -1,0 +1,69 @@
+"""FCFS wait queue.
+
+Jobs are ordered by ``(arrival, job_id)`` — a killed job re-enters with
+its *original* arrival time, so it returns to (or near) the head of the
+queue rather than the tail, matching the paper's restart semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.core.jobstate import JobState
+
+
+class WaitQueue:
+    """Priority-ordered wait queue keyed by (arrival, job_id)."""
+
+    __slots__ = ("_keys", "_jobs", "_requested")
+
+    def __init__(self) -> None:
+        self._keys: list[tuple[float, int]] = []
+        self._jobs: list[JobState] = []
+        self._requested = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __iter__(self) -> Iterator[JobState]:
+        return iter(self._jobs)
+
+    def __getitem__(self, i: int) -> JobState:
+        return self._jobs[i]
+
+    @property
+    def requested_nodes(self) -> int:
+        """Total nodes requested by waiting jobs — the ``q(t)`` of the
+        unused-capacity integral."""
+        return self._requested
+
+    def push(self, state: JobState) -> None:
+        """Insert preserving FCFS order; duplicates are rejected."""
+        key = (state.job.arrival, state.job_id)
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            raise SimulationError(f"job {state.job_id} already queued")
+        self._keys.insert(i, key)
+        self._jobs.insert(i, state)
+        self._requested += state.size
+
+    def head(self) -> JobState:
+        """The highest-priority waiting job."""
+        if not self._jobs:
+            raise SimulationError("head() on empty wait queue")
+        return self._jobs[0]
+
+    def remove(self, state: JobState) -> None:
+        """Remove a specific job (it was just dispatched)."""
+        key = (state.job.arrival, state.job_id)
+        i = bisect.bisect_left(self._keys, key)
+        if i >= len(self._keys) or self._keys[i] != key:
+            raise SimulationError(f"job {state.job_id} not in wait queue")
+        del self._keys[i]
+        del self._jobs[i]
+        self._requested -= state.size

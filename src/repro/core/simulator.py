@@ -1,0 +1,299 @@
+"""The event-driven scheduling simulator (§6.1 of the paper).
+
+One :class:`Simulator` instance runs one workload against one failure
+log under one policy.  The loop pops *batches* of same-timestamp events
+(FINISH before FAILURE before ARRIVAL), applies them, then runs a
+scheduler pass that dispatches as many waiting jobs as the policy,
+backfilling rules and migration allow.  Capacity samples are recorded
+after every batch; the integrand of the unused-capacity integral is
+constant between batches, so the accounting is exact.
+
+Failure semantics (§6.1): failures are transient — a failure on a node
+running job *j* destroys all of *j*'s unsaved work, re-queues *j* at its
+original FCFS priority and leaves the node instantly usable.  Failures
+on free nodes are harmless (the simulated repair time is zero).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.allocation.mfp import PlacementIndex
+from repro.checkpoint.model import CheckpointModel
+from repro.errors import SimulationError
+from repro.failures.events import FailureLog
+from repro.geometry.partition import Partition
+from repro.geometry.shapes import shapes_for_size
+from repro.geometry.torus import Torus
+from repro.metrics.capacity import CapacitySummary, CapacityTracker
+from repro.metrics.report import Counters, SimulationReport
+from repro.metrics.timing import JobRecord
+from repro.workloads.job import Workload
+from repro.core.backfill import shadow_time
+from repro.core.config import BackfillMode, SimulationConfig
+from repro.core.events import EventKind, EventQueue
+from repro.core.jobstate import MIN_ESTIMATE_S, JobState
+from repro.core.migration import apply_compaction, head_partition, plan_compaction
+from repro.core.policies.base import SchedulingPolicy
+from repro.core.queue import WaitQueue
+
+#: Tolerance when comparing estimated finishes against the shadow time.
+_SHADOW_EPS = 1e-9
+
+
+class Simulator:
+    """One simulation run: workload × failure log × policy × config."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        failure_log: FailureLog,
+        policy: SchedulingPolicy,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        dims = self.config.dims
+        if failure_log.n_nodes != dims.volume:
+            raise SimulationError(
+                f"failure log covers {failure_log.n_nodes} nodes but the "
+                f"machine has {dims.volume}; use repro.failures.map_node_ids"
+            )
+        self._validate_workload(workload)
+        self.workload = workload
+        self.failure_log = failure_log
+        self.policy = policy
+        self.torus = Torus(dims)
+        self.states: dict[int, JobState] = {
+            job.job_id: JobState(job) for job in workload.jobs
+        }
+        self.wait = WaitQueue()
+        self.events = EventQueue()
+        self.tracker = CapacityTracker(dims.volume)
+        self.counters = Counters()
+        self.records: list[JobRecord] = []
+        self.checkpoint = CheckpointModel(self.config.checkpoint)
+        self.rng = np.random.default_rng(self.config.seed)
+        self._completed = 0
+        self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
+        self._running_ids: set[int] = set()
+
+        for job in workload.jobs:
+            self.events.push(job.arrival, EventKind.ARRIVAL, job.job_id)
+        for i in range(len(failure_log)):
+            self.events.push(
+                float(failure_log.times[i]), EventKind.FAILURE, int(failure_log.nodes[i])
+            )
+
+    # ------------------------------------------------------------------
+    def _validate_workload(self, workload: Workload) -> None:
+        dims = self.config.dims
+        for job in workload.jobs:
+            if job.size > dims.volume or not shapes_for_size(job.size, dims):
+                raise SimulationError(
+                    f"job {job.job_id} size {job.size} has no rectangular "
+                    f"partition on {dims.as_tuple()}; apply "
+                    f"repro.workloads.fit_to_machine first"
+                )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Run to completion and return the report."""
+        n_jobs = len(self.workload)
+        if n_jobs == 0:
+            return self._report(end_time=self._min_arrival)
+        self.tracker.record(self._min_arrival, self.torus.dims.volume, 0)
+        processed = 0
+        last_time = self._min_arrival
+        while self.events and self._completed < n_jobs:
+            batch = self.events.pop_batch()
+            now = batch[0].time
+            for event in batch:
+                processed += 1
+                if processed > self.config.max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({self.config.max_events}); "
+                        f"likely livelock"
+                    )
+                if event.kind is EventKind.FINISH:
+                    self._on_finish(event.payload, event.epoch, now)
+                elif event.kind is EventKind.FAILURE:
+                    self._on_failure(event.payload, now)
+                else:
+                    self._on_arrival(event.payload, now)
+            self._schedule_pass(now)
+            if now >= self._min_arrival:
+                self.tracker.record(
+                    now, self.torus.free_count, self.wait.requested_nodes
+                )
+            if self.config.strict_invariants:
+                self.torus.check_invariants()
+            last_time = now
+        if self._completed < n_jobs:
+            raise SimulationError(
+                f"simulation stalled: {n_jobs - self._completed} jobs "
+                f"never completed (event queue drained at t={last_time})"
+            )
+        return self._report(end_time=last_time)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, job_id: int, now: float) -> None:
+        self.wait.push(self.states[job_id])
+
+    def _on_finish(self, job_id: int, epoch: int, now: float) -> None:
+        state = self.states[job_id]
+        if state.epoch != epoch or not state.running:
+            return  # stale FINISH from an execution a failure destroyed
+        self.torus.release(job_id)
+        self._running_ids.discard(job_id)
+        state.complete(now)
+        self.records.append(state.to_record())
+        self._completed += 1
+
+    def _on_failure(self, node: int, now: float) -> None:
+        self.counters.failures_total += 1
+        owner = self.torus.owner_by_index(node)
+        if owner is None:
+            self.counters.failures_idle += 1
+            return
+        self.counters.failures_hit_jobs += 1
+        self.counters.job_kills += 1
+        state = self.states[owner]
+        new_saved = self.checkpoint.progress_at_kill(
+            state.saved_progress, now - state.start_time, state.job.runtime, self.rng
+        )
+        if new_saved > state.saved_progress + 1e-12:
+            self.counters.checkpoint_restores += 1
+        self.torus.release(owner)
+        self._running_ids.discard(owner)
+        state.kill(now, new_saved)
+        self.wait.push(state)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _schedule_pass(self, now: float) -> None:
+        self.counters.scheduler_passes += 1
+        self.policy.begin_pass(now)
+        while self.wait:
+            index = PlacementIndex(self.torus)
+            head = self.wait.head()
+            partition = self.policy.choose_partition(index, head, now)
+            if partition is not None:
+                self._dispatch(head, partition, now)
+                continue
+            if self._try_migration(head, now):
+                continue
+            if self.config.backfill is BackfillMode.NONE:
+                break
+            if not self._try_backfill(index, head, now):
+                break
+
+    def _try_migration(self, head: JobState, now: float) -> bool:
+        if not self.config.migration:
+            return False
+        if self.torus.free_count < head.size:
+            return False
+        running = [self.states[i] for i in self._running_ids]
+        plan = plan_compaction(self.torus, running, head)
+        if plan is None:
+            return False
+        apply_compaction(self.torus, plan, head.job_id)
+        self.counters.migrations += 1
+        self.counters.jobs_migrated += len(plan.moved_job_ids)
+        cost = self.config.migration_cost_s
+        if cost > 0:
+            for job_id in plan.moved_job_ids:
+                state = self.states[job_id]
+                # The move re-dispatches the job: its completion slips by
+                # the checkpoint/restore cost, charged as lost capacity.
+                state.wall_duration += cost
+                state.est_finish += cost
+                state.lost_work += cost * state.size
+                state.epoch += 1
+                self.events.push(
+                    state.start_time + state.wall_duration,
+                    EventKind.FINISH,
+                    job_id,
+                    state.epoch,
+                )
+        self._dispatch(head, head_partition(plan, head.job_id), now)
+        return True
+
+    def _try_backfill(
+        self, index: PlacementIndex, head: JobState, now: float
+    ) -> bool:
+        """Start one lower-priority job if the mode permits; True if any
+        job started (the caller rebuilds the index and loops)."""
+        if self.config.backfill is BackfillMode.EASY:
+            running = [self.states[i] for i in self._running_ids]
+            shadow = shadow_time(self.torus, running, head.size, now)
+            if math.isinf(shadow):
+                raise SimulationError(
+                    f"job {head.job_id} (size {head.size}) cannot fit even "
+                    f"an empty machine"
+                )
+        else:
+            shadow = math.inf
+        for state in list(self.wait)[1:]:
+            est_wall = self.checkpoint.wall_duration(
+                max(state.remaining_estimate, MIN_ESTIMATE_S)
+            )
+            if now + est_wall > shadow + _SHADOW_EPS:
+                continue
+            partition = self.policy.choose_partition(index, state, now)
+            if partition is not None:
+                self._dispatch(state, partition, now)
+                self.counters.backfills += 1
+                return True
+        return False
+
+    def _dispatch(self, state: JobState, partition: Partition, now: float) -> None:
+        wall = self.checkpoint.wall_duration(state.remaining_work)
+        wall = max(wall, 1e-9)
+        epoch = state.dispatch(now, wall)
+        state.est_finish = now + self.checkpoint.wall_duration(
+            max(state.remaining_estimate, MIN_ESTIMATE_S)
+        )
+        self.torus.allocate(state.job_id, partition)
+        self._running_ids.add(state.job_id)
+        self.wait.remove(state)
+        self.events.push(now + wall, EventKind.FINISH, state.job_id, epoch)
+
+    # ------------------------------------------------------------------
+    def _report(self, end_time: float) -> SimulationReport:
+        useful = sum(r.size * r.runtime for r in self.records)
+        self.tracker.close(max(end_time, self._min_arrival))
+        capacity = CapacitySummary.from_tracker(
+            self.tracker, useful, self._min_arrival, end_time
+        )
+        return SimulationReport.build(
+            policy=self.policy.name,
+            workload=self.workload.name,
+            n_failures=len(self.failure_log),
+            records=sorted(self.records, key=lambda r: r.job_id),
+            capacity=capacity,
+            counters=self.counters,
+            parameters={
+                "backfill": self.config.backfill.value,
+                "migration": self.config.migration,
+                "checkpoint": self.config.checkpoint.mode.value,
+            },
+            gamma=self.config.gamma,
+            slowdown_rule=self.config.slowdown_rule,
+        )
+
+
+def simulate(
+    workload: Workload,
+    failure_log: FailureLog,
+    policy: SchedulingPolicy,
+    config: SimulationConfig | None = None,
+) -> SimulationReport:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(workload, failure_log, policy, config).run()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while unit
+tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GeometryError(ReproError):
+    """Invalid torus geometry: bad dimensions, coordinates or shapes."""
+
+
+class AllocationError(ReproError):
+    """Illegal allocation request (overlap, unknown job, bad partition)."""
+
+
+class PartitionOverlapError(AllocationError):
+    """Attempted to allocate a partition overlapping an occupied node."""
+
+
+class UnknownJobError(AllocationError):
+    """Referenced a job id that holds no allocation on the torus."""
+
+
+class WorkloadError(ReproError):
+    """Malformed workload trace or invalid workload-model parameters."""
+
+
+class SWFParseError(WorkloadError):
+    """A Standard Workload Format file could not be parsed."""
+
+
+class FailureModelError(ReproError):
+    """Invalid failure log or failure-generator parameters."""
+
+
+class PredictionError(ReproError):
+    """Invalid predictor configuration or query."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulator state or invalid simulation configuration."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment specification in the benchmark harness."""

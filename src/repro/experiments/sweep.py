@@ -1,0 +1,175 @@
+"""Sweep execution with multi-seed averaging.
+
+A :class:`SweepPoint` pins every axis of one experiment cell; the runner
+executes it across seeds and averages the metrics, because single-seed
+failure placement is noisy at the modest failure counts a short synthetic
+trace implies.
+
+Within a sweep the *workload* is held fixed across the swept parameter
+(the paper replays one log per figure) by seeding the workload draw from
+the base seed only; failure logs for a failure-count axis are *nested* —
+lower counts are thinned from the same master log — mirroring the
+paper's "artificially varying the number of failures" on one trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.policies.registry import make_policy
+from repro.core.simulator import simulate
+from repro.errors import ExperimentError
+from repro.failures.events import FailureLog
+from repro.failures.scaling import rescale_failures
+from repro.failures.synthetic import BurstFailureModel, generate_failures
+from repro.metrics.report import SimulationReport
+from repro.prediction.base import PartitionFailureRule
+from repro.workloads.job import Workload
+from repro.workloads.models import site_model
+from repro.workloads.scaling import fit_to_machine, scale_load
+from repro.workloads.synthetic import generate_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep grid."""
+
+    site: str
+    n_jobs: int
+    load_scale: float
+    n_failures: int
+    policy: str
+    parameter: float
+    pf_rule: PartitionFailureRule = PartitionFailureRule.MAX
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Seed-averaged metrics for one sweep point."""
+
+    point: SweepPoint
+    n_seeds: int
+    avg_bounded_slowdown: float
+    avg_response: float
+    avg_wait: float
+    utilized: float
+    unused: float
+    lost: float
+    job_kills: float
+    failures_hit_jobs: float
+
+    @classmethod
+    def from_reports(cls, point: SweepPoint, reports: Sequence[SimulationReport]) -> "SweepResult":
+        if not reports:
+            raise ExperimentError("cannot aggregate zero reports")
+        n = len(reports)
+
+        def mean(get) -> float:
+            return math.fsum(get(r) for r in reports) / n
+
+        return cls(
+            point=point,
+            n_seeds=n,
+            avg_bounded_slowdown=mean(lambda r: r.timing.avg_bounded_slowdown),
+            avg_response=mean(lambda r: r.timing.avg_response),
+            avg_wait=mean(lambda r: r.timing.avg_wait),
+            utilized=mean(lambda r: r.capacity.utilized),
+            unused=mean(lambda r: r.capacity.unused),
+            lost=mean(lambda r: r.capacity.lost),
+            job_kills=mean(lambda r: r.counters.job_kills),
+            failures_hit_jobs=mean(lambda r: r.counters.failures_hit_jobs),
+        )
+
+
+# ----------------------------------------------------------------------
+# workload / failure-log caches: sweeps share these across cells
+# ----------------------------------------------------------------------
+
+_workload_cache: dict[tuple, Workload] = {}
+_master_log_cache: dict[tuple, FailureLog] = {}
+
+
+def _workload_for(point: SweepPoint, seed: int) -> Workload:
+    key = (point.site, point.n_jobs, point.load_scale, seed, point.config.dims.as_tuple())
+    workload = _workload_cache.get(key)
+    if workload is None:
+        raw = generate_workload(site_model(point.site), point.n_jobs, seed=seed)
+        workload = fit_to_machine(scale_load(raw, point.load_scale), point.config.dims)
+        _workload_cache[key] = workload
+    return workload
+
+
+#: Master failure logs are generated at this count and thinned down, so a
+#: failure-count axis is nested (monotone by construction).
+MASTER_FAILURE_COUNT = 8192
+
+
+def _failures_for(
+    point: SweepPoint, workload: Workload, seed: int, model: BurstFailureModel
+) -> FailureLog:
+    horizon = max(workload.span * 1.5, 3600.0)
+    key = (point.config.dims.as_tuple(), round(horizon, 3), seed, model)
+    master = _master_log_cache.get(key)
+    if master is None:
+        master = generate_failures(
+            point.config.dims, MASTER_FAILURE_COUNT, horizon, model=model, seed=seed + 1
+        )
+        _master_log_cache[key] = master
+    if point.n_failures > MASTER_FAILURE_COUNT:
+        raise ExperimentError(
+            f"n_failures {point.n_failures} exceeds master log size "
+            f"{MASTER_FAILURE_COUNT}"
+        )
+    return rescale_failures(master, point.n_failures, seed=seed + 2)
+
+
+_result_cache: dict[tuple, SweepResult] = {}
+
+
+def run_point(
+    point: SweepPoint,
+    seeds: Iterable[int] = (0, 1, 2),
+    failure_model: BurstFailureModel | None = None,
+) -> SweepResult:
+    """Run one sweep cell across ``seeds`` and average.
+
+    Results are memoised on ``(point, seeds, model)`` — different paper
+    figures share many cells (e.g. Figs. 4 and 5 plot different metrics
+    of the same sweep), so a full benchmark session reuses them.
+    """
+    model = failure_model or BurstFailureModel()
+    seeds = tuple(seeds)
+    cache_key = (point, seeds, model)
+    cached = _result_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    reports = []
+    for seed in seeds:
+        workload = _workload_for(point, seed)
+        failures = _failures_for(point, workload, seed, model)
+        policy = make_policy(
+            point.policy,
+            failure_log=failures,
+            parameter=point.parameter,
+            pf_rule=point.pf_rule,
+            seed=seed + 3,
+        )
+        config = replace(point.config, seed=seed + 4)
+        reports.append(simulate(workload, failures, policy, config))
+    result = SweepResult.from_reports(point, reports)
+    _result_cache[cache_key] = result
+    return result
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    seeds: Iterable[int] = (0, 1, 2),
+    failure_model: BurstFailureModel | None = None,
+) -> list[SweepResult]:
+    """Run every cell of a sweep."""
+    seeds = tuple(seeds)
+    return [run_point(p, seeds, failure_model) for p in points]

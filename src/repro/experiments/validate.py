@@ -1,0 +1,144 @@
+"""Qualitative shape validation of regenerated figures.
+
+EXPERIMENTS.md states, per figure, which *shapes* of the paper's curves
+this reproduction targets (orderings, knees, conservation laws).  This
+module encodes those statements as executable checks over a
+:class:`~repro.experiments.figures.FigureResult`, so a figure
+regeneration can be machine-verified instead of eyeballed.  Checks come
+in two severities:
+
+* ``invariant`` — must always hold (conservation, axis coverage,
+  baseline identities); a violation is a bug.
+* ``expectation`` — the paper's qualitative claim; can fail on an
+  unlucky seed at small scale, so validators report rather than raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureResult
+
+
+@dataclass(frozen=True, slots=True)
+class CheckOutcome:
+    """Result of one shape check."""
+
+    name: str
+    severity: str  # "invariant" | "expectation"
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """All check outcomes for one figure."""
+
+    figure: str
+    outcomes: list[CheckOutcome] = field(default_factory=list)
+
+    def add(self, name: str, severity: str, passed: bool, detail: str = "") -> None:
+        self.outcomes.append(CheckOutcome(name, severity, passed, detail))
+
+    @property
+    def invariants_ok(self) -> bool:
+        return all(o.passed for o in self.outcomes if o.severity == "invariant")
+
+    @property
+    def expectations_met(self) -> int:
+        return sum(1 for o in self.outcomes if o.severity == "expectation" and o.passed)
+
+    @property
+    def expectations_total(self) -> int:
+        return sum(1 for o in self.outcomes if o.severity == "expectation")
+
+    def summary(self) -> str:
+        lines = [f"validation[{self.figure}]: invariants "
+                 f"{'OK' if self.invariants_ok else 'VIOLATED'}, "
+                 f"expectations {self.expectations_met}/{self.expectations_total}"]
+        for o in self.outcomes:
+            mark = "ok " if o.passed else ("BUG" if o.severity == "invariant" else "mis")
+            lines.append(f"  [{mark}] {o.severity:<11} {o.name}"
+                         + (f" — {o.detail}" if o.detail else ""))
+        return "\n".join(lines)
+
+
+def _series_rows(result: FigureResult, label: str):
+    try:
+        return result.series[label]
+    except KeyError:
+        raise ExperimentError(
+            f"{result.figure} has no series {label!r}; has {list(result.series)}"
+        ) from None
+
+
+def _check_common(result: FigureResult, report: ValidationReport) -> None:
+    report.add(
+        "has-series", "invariant", bool(result.series),
+        f"{len(result.series)} series",
+    )
+    for label, rows in result.series.items():
+        xs = [x for x, _ in rows]
+        report.add(
+            f"x-axis-sorted[{label}]", "invariant", xs == sorted(xs),
+        )
+        conserved = all(
+            abs(r.utilized + r.unused + r.lost - 1.0) < 1e-6 for _, r in rows
+        )
+        report.add(f"capacity-conservation[{label}]", "invariant", conserved)
+        nonneg = all(
+            r.utilized >= 0 and r.unused >= 0 and r.job_kills >= 0 for _, r in rows
+        )
+        report.add(f"non-negative-metrics[{label}]", "invariant", nonneg)
+
+
+def _failure_axis_checks(result: FigureResult, report: ValidationReport) -> None:
+    for label, rows in result.series.items():
+        first, last = rows[0][1], rows[-1][1]
+        report.add(
+            f"zero-failures-zero-kills[{label}]", "invariant",
+            rows[0][0] != 0.0 or first.job_kills == 0.0,
+        )
+        report.add(
+            f"failures-degrade[{label}]", "expectation",
+            last.avg_bounded_slowdown > first.avg_bounded_slowdown,
+            f"{first.avg_bounded_slowdown:.1f} -> {last.avg_bounded_slowdown:.1f}",
+        )
+        report.add(
+            f"failures-lose-capacity[{label}]", "expectation",
+            last.lost > first.lost,
+            f"{first.lost:.3f} -> {last.lost:.3f}",
+        )
+
+
+def _prediction_axis_checks(result: FigureResult, report: ValidationReport) -> None:
+    for label, rows in result.series.items():
+        kills = [r.job_kills for _, r in rows]
+        report.add(
+            f"prediction-reduces-kills[{label}]", "expectation",
+            min(kills[1:], default=kills[0]) <= kills[0],
+            f"a=0: {kills[0]:.1f}, best: {min(kills):.1f}",
+        )
+        early = kills[1] if len(kills) > 1 else kills[0]
+        late = kills[-1]
+        gain_early = kills[0] - early
+        gain_late = kills[0] - late
+        report.add(
+            f"diminishing-returns[{label}]", "expectation",
+            gain_early >= 0.5 * gain_late or gain_late <= 0,
+            f"gain@0.1={gain_early:.1f} gain@1.0={gain_late:.1f}",
+        )
+
+
+def validate_figure(result: FigureResult) -> ValidationReport:
+    """Run the appropriate shape checks for any regenerated figure."""
+    report = ValidationReport(result.figure)
+    _check_common(result, report)
+    if result.x_label == "paper failure count":
+        _failure_axis_checks(result, report)
+    elif result.x_label in ("confidence", "accuracy"):
+        _prediction_axis_checks(result, report)
+    else:
+        raise ExperimentError(f"unknown figure axis {result.x_label!r}")
+    return report

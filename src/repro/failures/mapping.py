@@ -1,0 +1,40 @@
+"""Mapping external node ids onto the torus.
+
+Real failure traces identify nodes of a *different* machine (the paper's
+trace covers 350 cluster nodes; the simulated torus has 128 supernodes).
+The paper links the two by reusing the trace's failure *timings* on the
+simulated machine.  :func:`map_node_ids` performs the id translation:
+a deterministic hash-like permutation spreads external ids across torus
+nodes so spatially-adjacent external ids do not all collapse onto one
+torus region, while identical external ids always map to the same torus
+node (a flaky machine stays flaky).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FailureModelError
+from repro.failures.events import FailureLog
+from repro.geometry.coords import TorusDims
+
+
+def map_node_ids(
+    log: FailureLog, dims: TorusDims, seed: int | None = 0
+) -> FailureLog:
+    """Re-home a failure log onto ``dims``' linear node ids.
+
+    External ids are assigned to torus nodes round-robin over a seeded
+    random permutation of the torus: stable (same external id → same
+    torus node), balanced (at most ``ceil(n_ext / volume)`` external ids
+    per torus node), and seed-reproducible.
+    """
+    if len(log) == 0:
+        return FailureLog(dims.volume)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(dims.volume)
+    n_ext = log.n_nodes
+    if n_ext < 1:
+        raise FailureModelError("source log has no nodes")
+    table = perm[np.arange(n_ext) % dims.volume]
+    return FailureLog.from_arrays(dims.volume, log.times.copy(), table[log.nodes])

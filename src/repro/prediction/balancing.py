@@ -1,0 +1,97 @@
+"""The balancing (confidence) predictor — §4.1 of the paper.
+
+For a node ``n`` and window ``[t0, t1)`` the predicted failure
+probability is ``a`` when the failure log contains an event for ``n`` in
+the window and 0 otherwise; partition probabilities combine per the
+configured :class:`~repro.prediction.base.PartitionFailureRule`.
+
+The hot path caches the per-window flagged-node mask: one scheduling
+pass asks about many candidate partitions over the *same* window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.failures.events import FailureLog
+from repro.geometry.coords import TorusDims
+from repro.geometry.partition import Partition
+from repro.prediction.base import (
+    PartitionFailureRule,
+    Predictor,
+    combine_probabilities,
+)
+
+
+class BalancingPredictor(Predictor):
+    """Log-peeking probabilistic predictor with confidence ``a``.
+
+    Parameters
+    ----------
+    log:
+        The shared failure log (same instance the simulator injects
+        failures from).
+    confidence:
+        The paper's ``a`` parameter in ``[0, 1]``.  0 disables
+        prediction entirely (the fault-oblivious baseline); 1 is a
+        perfectly confident oracle.
+    rule:
+        Per-partition combination rule; default is the §4.1 ``max`` form
+        (the §5.2.1 complement-product is available for ablation — see
+        DESIGN.md §5.2).
+    """
+
+    def __init__(
+        self,
+        log: FailureLog,
+        confidence: float,
+        rule: PartitionFailureRule = PartitionFailureRule.MAX,
+    ) -> None:
+        if not 0.0 <= confidence <= 1.0:
+            raise PredictionError(f"confidence must be in [0, 1], got {confidence}")
+        self.log = log
+        self.confidence = confidence
+        self.rule = rule
+        self._mask_cache: dict[tuple[float, float], np.ndarray] = {}
+        self._integral_cache: dict[tuple[float, float], np.ndarray] = {}
+
+    def begin_pass(self, now: float) -> None:
+        # Windows are keyed on (t0, t1); bound the cache so week-long
+        # simulations do not accumulate one mask per job.
+        if len(self._mask_cache) > 64:
+            self._mask_cache.clear()
+            self._integral_cache.clear()
+
+    def _mask(self, t0: float, t1: float) -> np.ndarray:
+        key = (t0, t1)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            mask = self.log.failure_mask(t0, t1)
+            self._mask_cache[key] = mask
+        return mask
+
+    def _integral(self, dims: TorusDims, t0: float, t1: float) -> np.ndarray:
+        from repro.geometry.torus import wrap_pad_integral
+
+        key = (t0, t1)
+        integral = self._integral_cache.get(key)
+        if integral is None:
+            grid = self._mask(t0, t1).reshape(dims.as_tuple()).astype(np.int64)
+            integral = wrap_pad_integral(grid)
+            self._integral_cache[key] = integral
+        return integral
+
+    def node_failure_probability(self, node: int, t0: float, t1: float) -> float:
+        """``p_n^f`` for one linear node id."""
+        return self.confidence if self._mask(t0, t1)[node] else 0.0
+
+    def partition_failure_probability(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> float:
+        if self.confidence == 0.0:
+            return 0.0
+        flagged = self.count_in_partition(
+            self._integral(dims, t0, t1), partition, dims
+        )
+        return combine_probabilities(self.confidence, flagged, self.rule)

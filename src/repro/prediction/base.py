@@ -1,0 +1,88 @@
+"""Predictor interfaces and the partition failure-probability rules."""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.geometry.coords import TorusDims
+from repro.geometry.partition import Partition
+
+
+class PartitionFailureRule(enum.Enum):
+    """How per-node failure probabilities combine into a partition's
+    ``P_f``.
+
+    The paper states both forms: §4.1 uses ``max_n p_n^f`` while §5.2.1
+    uses ``1 - prod_n (1 - p_n^f)``.  For the balancing predictor's 0/``a``
+    output the two differ only when several flagged nodes land in one
+    partition; both are implemented and ablated
+    (``benchmarks/test_ablation_pf_rule.py``).
+    """
+
+    MAX = "max"
+    COMPLEMENT_PRODUCT = "complement-product"
+
+
+def combine_probabilities(
+    confidence: float, flagged_in_partition: int, rule: PartitionFailureRule
+) -> float:
+    """``P_f`` for a partition containing ``flagged_in_partition`` nodes
+    whose individual failure probability is ``confidence``."""
+    if flagged_in_partition < 0:
+        raise PredictionError("flagged node count must be >= 0")
+    if flagged_in_partition == 0 or confidence == 0.0:
+        return 0.0
+    if rule is PartitionFailureRule.MAX:
+        return confidence
+    return 1.0 - (1.0 - confidence) ** flagged_in_partition
+
+
+class Predictor(abc.ABC):
+    """Common surface of both paper predictors.
+
+    A predictor is queried about one *window* ``[t0, t1)`` at a time —
+    the estimated execution interval of the job being placed.  Queries
+    inside one scheduling pass must be mutually consistent (the
+    tie-breaking predictor's random responses are cached per node and
+    window), so the simulator calls :meth:`begin_pass` before each pass.
+    """
+
+    def begin_pass(self, now: float) -> None:
+        """Reset per-pass caches.  Default: nothing to reset."""
+
+    @abc.abstractmethod
+    def partition_failure_probability(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> float:
+        """Estimated probability that ``partition`` fails in ``[t0, t1)``."""
+
+    def predicts_failure(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> bool:
+        """Boolean form: does the predictor expect the partition to fail?"""
+        return self.partition_failure_probability(partition, dims, t0, t1) > 0.0
+
+    @staticmethod
+    def _flagged_in_partition(
+        mask: np.ndarray, partition: Partition, dims: TorusDims
+    ) -> int:
+        """Count flagged nodes (by linear id mask) inside a partition."""
+        grid = mask.reshape(dims.as_tuple())
+        sel = grid[np.ix_(*partition.axis_ranges(dims))]
+        return int(np.count_nonzero(sel))
+
+    @staticmethod
+    def count_in_partition(
+        integral: np.ndarray, partition: Partition, dims: TorusDims
+    ) -> int:
+        """Flagged-node count via a wrap-pad integral (hot path: one
+        scalar lookup instead of fancy indexing)."""
+        from repro.geometry.torus import box_sum_at
+
+        return box_sum_at(
+            integral, dims.wrap(partition.base), partition.shape
+        )

@@ -1,0 +1,38 @@
+"""Degenerate predictors: perfect oracle and no-op.
+
+These are the two endpoints of the paper's confidence/accuracy sweeps,
+packaged explicitly because examples and ablations use them directly.
+"""
+
+from __future__ import annotations
+
+from repro.failures.events import FailureLog
+from repro.geometry.coords import TorusDims
+from repro.geometry.partition import Partition
+from repro.prediction.balancing import BalancingPredictor
+from repro.prediction.base import PartitionFailureRule, Predictor
+
+
+class PerfectPredictor(BalancingPredictor):
+    """Oracle: reports every upcoming failure with probability 1."""
+
+    def __init__(
+        self,
+        log: FailureLog,
+        rule: PartitionFailureRule = PartitionFailureRule.MAX,
+    ) -> None:
+        super().__init__(log, confidence=1.0, rule=rule)
+
+
+class NullPredictor(Predictor):
+    """Predicts nothing, ever — the fault-oblivious baseline (``a = 0``)."""
+
+    def partition_failure_probability(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> float:
+        return 0.0
+
+    def predicts_failure(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> bool:
+        return False

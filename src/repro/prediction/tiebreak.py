@@ -1,0 +1,98 @@
+"""The tie-breaking (accuracy) predictor — §4.2 of the paper.
+
+A boolean oracle: for a node with a logged failure inside the window it
+answers *yes* with probability ``a`` (so the false-negative rate is
+``1-a``); for a node with no logged failure it always answers *no*
+(zero false positives, justified in the paper by the measured
+``p_f+ << p_f-`` of real predictors).
+
+Responses must be consistent within one scheduling pass — the same node
+asked twice (via two overlapping candidate partitions) must answer the
+same — so per-node draws are cached per ``(node, window)`` and cleared
+at :meth:`begin_pass`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.failures.events import FailureLog
+from repro.geometry.coords import TorusDims
+from repro.geometry.partition import Partition
+from repro.prediction.base import Predictor
+
+
+class TieBreakPredictor(Predictor):
+    """Boolean log-peeking predictor with accuracy ``a``.
+
+    Parameters
+    ----------
+    log:
+        Shared failure log.
+    accuracy:
+        ``a = 1 - p_f-`` in ``[0, 1]``; probability a genuine upcoming
+        failure is reported.
+    seed:
+        Seed for the response noise.
+    """
+
+    def __init__(self, log: FailureLog, accuracy: float, seed: int | None = 0) -> None:
+        if not 0.0 <= accuracy <= 1.0:
+            raise PredictionError(f"accuracy must be in [0, 1], got {accuracy}")
+        self.log = log
+        self.accuracy = accuracy
+        self._rng = np.random.default_rng(seed)
+        self._draws: dict[tuple[float, float], np.ndarray] = {}
+        self._masks: dict[tuple[float, float], np.ndarray] = {}
+        self._integrals: dict[tuple[float, float], np.ndarray] = {}
+
+    def begin_pass(self, now: float) -> None:
+        """Drop cached draws: a new pass re-rolls the response noise."""
+        self._draws.clear()
+        self._masks.clear()
+        self._integrals.clear()
+
+    def _window(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+        key = (t0, t1)
+        mask = self._masks.get(key)
+        if mask is None:
+            mask = self.log.failure_mask(t0, t1)
+            self._masks[key] = mask
+            # One Bernoulli(a) response per node, drawn up-front so every
+            # partition sharing this window sees consistent answers.
+            self._draws[key] = self._rng.random(self.log.n_nodes) < self.accuracy
+        return mask, self._draws[key]
+
+    def node_predicts_failure(self, node: int, t0: float, t1: float) -> bool:
+        """Boolean response for one node."""
+        mask, draws = self._window(t0, t1)
+        return bool(mask[node] and draws[node])
+
+    def _reported_integral(
+        self, dims: TorusDims, t0: float, t1: float
+    ) -> np.ndarray:
+        from repro.geometry.torus import wrap_pad_integral
+
+        key = (t0, t1)
+        integral = self._integrals.get(key)
+        if integral is None:
+            mask, draws = self._window(t0, t1)
+            grid = (mask & draws).reshape(dims.as_tuple()).astype(np.int64)
+            integral = wrap_pad_integral(grid)
+            self._integrals[key] = integral
+        return integral
+
+    def predicts_failure(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> bool:
+        count = self.count_in_partition(
+            self._reported_integral(dims, t0, t1), partition, dims
+        )
+        return count > 0
+
+    def partition_failure_probability(
+        self, partition: Partition, dims: TorusDims, t0: float, t1: float
+    ) -> float:
+        """Degenerate probability view: 1.0 when predicted to fail."""
+        return 1.0 if self.predicts_failure(partition, dims, t0, t1) else 0.0

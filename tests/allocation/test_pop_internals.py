@@ -1,0 +1,57 @@
+"""Unit tests for the POP finder's run-length projection."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation.pop import z_free_runs
+from repro.geometry.coords import TorusDims
+
+
+def brute_run(free, dims, x, y, z):
+    run = 0
+    for k in range(dims.z):
+        if free[x, y, (z + k) % dims.z]:
+            run += 1
+        else:
+            break
+    return run
+
+
+class TestZFreeRuns:
+    def test_fully_free_column_reports_full_period(self):
+        dims = TorusDims(2, 2, 6)
+        free = np.ones(dims.as_tuple(), dtype=bool)
+        runs = z_free_runs(free, dims)
+        assert (runs == 6).all()
+
+    def test_fully_busy_column(self):
+        dims = TorusDims(1, 1, 4)
+        free = np.zeros(dims.as_tuple(), dtype=bool)
+        assert (z_free_runs(free, dims) == 0).all()
+
+    def test_wraparound_run(self):
+        dims = TorusDims(1, 1, 5)
+        free = np.ones(dims.as_tuple(), dtype=bool)
+        free[0, 0, 2] = False
+        runs = z_free_runs(free, dims)
+        # Starting at z=3: 3,4,0,1 free -> run 4 (wraps past the period
+        # boundary, stops at blocked z=2).
+        assert runs[0, 0, 3] == 4
+        assert runs[0, 0, 2] == 0
+        assert runs[0, 0, 0] == 2
+
+    @given(st.integers(0, 2**31), st.integers(1, 4), st.integers(1, 4), st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_matches_bruteforce(self, seed, X, Y, Z):
+        dims = TorusDims(X, Y, Z)
+        rng = np.random.default_rng(seed)
+        free = rng.random(dims.as_tuple()) < 0.6
+        runs = z_free_runs(free, dims)
+        for x in range(X):
+            for y in range(Y):
+                for z in range(Z):
+                    expected = brute_run(free, dims, x, y, z)
+                    expected = min(expected, Z)
+                    assert runs[x, y, z] == expected

@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ascii_chart import render_histogram, render_series
+from repro.errors import ExperimentError
+
+
+class TestRenderSeries:
+    def test_basic_render(self):
+        chart = render_series(
+            {"a": [(0, 0), (1, 1), (2, 4)], "b": [(0, 4), (2, 0)]},
+            width=32, height=8, title="test chart",
+        )
+        assert "test chart" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_flat_series(self):
+        chart = render_series({"flat": [(0, 5), (10, 5)]}, width=16, height=4)
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series({})
+        with pytest.raises(ExperimentError):
+            render_series({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series({"a": [(0, 1)]}, width=2, height=2)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-1e4, 1e4), st.floats(-1e4, 1e4)),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_never_crashes_and_fits(self, points):
+        chart = render_series({"s": points}, width=40, height=10)
+        for line in chart.splitlines():
+            assert len(line) <= 40 + 16  # axis labels + grid
+
+
+class TestRenderHistogram:
+    def test_basic(self):
+        out = render_histogram([1, 1, 2, 3, 3, 3], bins=3, title="h")
+        assert "h" in out
+        assert out.count("|") == 3
+        assert "3" in out
+
+    def test_log_bins(self):
+        out = render_histogram([1, 10, 100, 1000], bins=3, log_bins=True)
+        assert out.count("|") == 3
+
+    def test_single_value(self):
+        out = render_histogram([5.0], bins=4)
+        assert "1" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_histogram([])
+        with pytest.raises(ExperimentError):
+            render_histogram([1.0], bins=0)
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_counts_conserved(self, values):
+        out = render_histogram(values, bins=5)
+        # Total of per-bin trailing counts equals the sample size.
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == len(values)

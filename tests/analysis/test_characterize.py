@@ -1,0 +1,77 @@
+"""Tests for workload/failure characterisation profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.characterize import characterize_failures, characterize_workload
+from repro.failures.events import FailureEvent, FailureLog
+from repro.failures.synthetic import BurstFailureModel, generate_failures
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.workloads.job import Job, Workload
+from repro.workloads.models import NASA_IPSC, SDSC_SP
+from repro.workloads.synthetic import generate_workload
+
+D = BGL_SUPERNODE_DIMS
+
+
+class TestWorkloadProfile:
+    def test_empty(self):
+        profile = characterize_workload(Workload("e", 128))
+        assert profile.n_jobs == 0 and profile.offered_load == 0.0
+
+    def test_simple_trace(self):
+        jobs = (
+            Job(0, 0.0, 4, 100.0, 150.0),
+            Job(1, 100.0, 3, 100.0, 100.0),
+        )
+        profile = characterize_workload(Workload("t", 128, jobs))
+        assert profile.n_jobs == 2
+        assert profile.mean_size == 3.5
+        assert profile.power_of_two_share == 0.5  # size 4 yes, size 3 no
+        assert profile.mean_overestimate == pytest.approx((1.5 + 1.0) / 2)
+
+    def test_nasa_model_properties_visible(self):
+        w = generate_workload(NASA_IPSC, 1500, seed=0)
+        profile = characterize_workload(w)
+        assert profile.unit_job_share > 0.4        # NASA's interactive mass
+        assert profile.power_of_two_share > 0.9
+        assert profile.daytime_arrival_share > 0.5  # diurnal cycle
+
+    def test_target_load_reflected(self):
+        w = generate_workload(SDSC_SP, 1000, seed=1)
+        profile = characterize_workload(w)
+        assert profile.offered_load == pytest.approx(
+            SDSC_SP.target_offered_load, rel=0.05
+        )
+
+
+class TestFailureProfile:
+    def test_empty(self):
+        profile = characterize_failures(FailureLog(128))
+        assert profile.n_events == 0 and profile.n_bursts == 0
+
+    def test_burst_detection(self):
+        # Two bursts of 3 and 2 events separated by a long gap.
+        events = [FailureEvent(t, n) for t, n in
+                  [(0.0, 1), (10.0, 2), (20.0, 3), (10_000.0, 4), (10_005.0, 5)]]
+        profile = characterize_failures(FailureLog(128, events), burst_gap_s=600.0)
+        assert profile.n_bursts == 2
+        assert profile.max_burst_size == 3
+        assert profile.mean_burst_size == pytest.approx(2.5)
+        assert profile.distinct_nodes == 5
+
+    def test_generator_is_bursty(self):
+        log = generate_failures(
+            D, 400, 30 * 86_400.0,
+            model=BurstFailureModel(burst_size_p=0.3), seed=0,
+        )
+        profile = characterize_failures(log)
+        assert profile.n_bursts < profile.n_events  # real clustering
+        assert profile.mean_burst_size > 1.5
+
+    def test_flaky_node_share(self):
+        events = [FailureEvent(float(i * 1000), 7) for i in range(9)]
+        events.append(FailureEvent(99_999.0, 3))
+        profile = characterize_failures(FailureLog(128, events))
+        assert profile.top_node_share == pytest.approx(0.9)

@@ -1,0 +1,72 @@
+"""Tests for timeline reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import (
+    build_timeline,
+    busy_nodes_trace,
+    mean_busy_nodes,
+    peak_queue_length,
+    queue_length_trace,
+)
+from repro.core.policies import KrevatPolicy
+from repro.core.simulator import simulate
+from repro.core.config import SimulationConfig
+from repro.failures.events import FailureLog
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.metrics.timing import JobRecord
+from repro.workloads.job import Job, Workload
+
+
+def record(job_id, size, arrival, start, finish):
+    return JobRecord(
+        job_id=job_id, size=size, arrival=arrival, start=start, finish=finish,
+        runtime=finish - start, estimate=finish - start, restarts=0, lost_work=0.0,
+    )
+
+
+class TestTraces:
+    def test_timeline_ordering(self):
+        records = [record(0, 4, 0.0, 5.0, 15.0), record(1, 2, 1.0, 2.0, 8.0)]
+        events = build_timeline(records)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert len(events) == 6
+
+    def test_queue_length(self):
+        records = [
+            record(0, 4, 0.0, 0.0, 100.0),
+            record(1, 4, 10.0, 50.0, 120.0),
+            record(2, 4, 20.0, 50.0, 130.0),
+        ]
+        trace = dict(queue_length_trace(records))
+        assert trace[10.0] == 1
+        assert trace[20.0] == 2
+        assert trace[50.0] == 0
+        assert peak_queue_length(records) == 2
+
+    def test_busy_nodes(self):
+        records = [record(0, 8, 0.0, 0.0, 10.0), record(1, 4, 0.0, 5.0, 20.0)]
+        trace = dict(busy_nodes_trace(records))
+        assert trace[0.0] == 8
+        assert trace[5.0] == 12
+        assert trace[10.0] == 4
+        assert trace[20.0] == 0
+
+    def test_empty(self):
+        assert queue_length_trace([]) == []
+        assert peak_queue_length([]) == 0
+        assert mean_busy_nodes([]) == 0.0
+
+
+class TestCrossCheck:
+    def test_mean_busy_matches_utilization_without_failures(self):
+        jobs = tuple(Job(i, i * 400.0, 8 * (1 + i % 3), 900.0) for i in range(20))
+        workload = Workload("t", 128, jobs)
+        report = simulate(
+            workload, FailureLog(128), KrevatPolicy(), SimulationConfig()
+        )
+        mean_busy = mean_busy_nodes(report.records)
+        assert mean_busy / 128 == pytest.approx(report.capacity.utilized, rel=1e-9)

@@ -1,0 +1,142 @@
+"""Tests for the analytic checkpoint model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint.model import CheckpointConfig, CheckpointMode, CheckpointModel
+from repro.errors import SimulationError
+
+
+def model(mode=CheckpointMode.PERIODIC, interval=100.0, overhead=10.0, hit=0.0):
+    return CheckpointModel(
+        CheckpointConfig(mode=mode, interval_s=interval, overhead_s=overhead, hit_probability=hit)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CheckpointConfig(interval_s=0.0)
+        with pytest.raises(SimulationError):
+            CheckpointConfig(overhead_s=-1.0)
+        with pytest.raises(SimulationError):
+            CheckpointConfig(hit_probability=1.5)
+
+    def test_mode_flags(self):
+        assert CheckpointConfig(mode=CheckpointMode.BOTH).periodic
+        assert CheckpointConfig(mode=CheckpointMode.BOTH).predictive
+        assert not CheckpointConfig(mode=CheckpointMode.NONE).periodic
+        assert not CheckpointConfig(mode=CheckpointMode.PREDICTIVE).periodic
+
+
+class TestWallDuration:
+    def test_none_mode_is_identity(self):
+        m = model(mode=CheckpointMode.NONE)
+        assert m.wall_duration(500.0) == 500.0
+
+    def test_periodic_inserts_overheads(self):
+        m = model(interval=100.0, overhead=10.0)
+        # 250 s of work: checkpoints after 100 and 200 -> 2 overheads.
+        assert m.wall_duration(250.0) == 270.0
+
+    def test_no_checkpoint_at_exact_completion(self):
+        m = model(interval=100.0, overhead=10.0)
+        # 200 s of work: checkpoint after 100 only (one at 200 is useless).
+        assert m.wall_duration(200.0) == 210.0
+
+    def test_short_job_no_overhead(self):
+        m = model(interval=100.0, overhead=10.0)
+        assert m.wall_duration(50.0) == 50.0
+
+    def test_zero_work(self):
+        assert model().wall_duration(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            model().wall_duration(-1.0)
+
+
+class TestProgress:
+    def test_periodic_progress_steps(self):
+        m = model(interval=100.0, overhead=10.0)
+        assert m.periodic_progress(50.0) == 0.0
+        assert m.periodic_progress(109.9) == 0.0    # mid-checkpoint write
+        assert m.periodic_progress(110.0) == 100.0
+        assert m.periodic_progress(330.0) == 300.0
+
+    def test_none_mode_progress_zero(self):
+        m = model(mode=CheckpointMode.NONE)
+        assert m.periodic_progress(1e6) == 0.0
+
+    def test_work_done_accounts_for_overhead(self):
+        m = model(interval=100.0, overhead=10.0)
+        assert m.work_done(50.0) == 50.0
+        assert m.work_done(105.0) == 100.0  # writing the checkpoint
+        assert m.work_done(110.0) == 100.0
+        assert m.work_done(160.0) == 150.0
+
+    @given(st.floats(0, 1e6))
+    @settings(max_examples=60)
+    def test_progress_never_exceeds_work_done(self, wall):
+        m = model(interval=100.0, overhead=10.0)
+        assert m.periodic_progress(wall) <= m.work_done(wall) + 1e-9
+
+    @given(st.floats(1, 1e5))
+    @settings(max_examples=60)
+    def test_wall_round_trip(self, work):
+        """Running a job to its wall duration banks all completed
+        intervals and executes exactly `work` seconds of work."""
+        m = model(interval=100.0, overhead=10.0)
+        wall = m.wall_duration(work)
+        assert m.work_done(wall) == pytest.approx(work, rel=1e-9)
+
+
+class TestProgressAtKill:
+    def test_no_checkpointing_never_saves(self):
+        m = model(mode=CheckpointMode.NONE)
+        rng = np.random.default_rng(0)
+        assert m.progress_at_kill(0.0, 500.0, 1000.0, rng) == 0.0
+
+    def test_periodic_banking(self):
+        m = model(interval=100.0, overhead=10.0)
+        rng = np.random.default_rng(0)
+        assert m.progress_at_kill(0.0, 250.0, 1000.0, rng) == 200.0
+
+    def test_base_progress_preserved(self):
+        m = model(interval=100.0, overhead=10.0)
+        rng = np.random.default_rng(0)
+        # Resumed from 300 banked; killed 50 s in: nothing new banked.
+        assert m.progress_at_kill(300.0, 50.0, 1000.0, rng) == 300.0
+
+    def test_capped_at_total_work(self):
+        m = model(interval=100.0, overhead=10.0)
+        rng = np.random.default_rng(0)
+        assert m.progress_at_kill(0.0, 1e6, 450.0, rng) == 450.0
+
+    def test_predictive_hit_saves_everything_minus_overhead(self):
+        m = model(mode=CheckpointMode.PREDICTIVE, interval=100.0, overhead=10.0, hit=1.0)
+        rng = np.random.default_rng(0)
+        assert m.progress_at_kill(0.0, 500.0, 1000.0, rng) == pytest.approx(490.0)
+
+    def test_predictive_miss_saves_nothing(self):
+        m = model(mode=CheckpointMode.PREDICTIVE, interval=100.0, overhead=10.0, hit=0.0)
+        rng = np.random.default_rng(0)
+        assert m.progress_at_kill(0.0, 500.0, 1000.0, rng) == 0.0
+
+    def test_predictive_hit_rate(self):
+        m = model(mode=CheckpointMode.PREDICTIVE, overhead=0.0, hit=0.3)
+        rng = np.random.default_rng(42)
+        hits = sum(
+            1 for _ in range(1000) if m.progress_at_kill(0.0, 100.0, 1000.0, rng) > 0
+        )
+        assert hits / 1000 == pytest.approx(0.3, abs=0.05)
+
+    def test_both_mode_takes_best(self):
+        m = model(mode=CheckpointMode.BOTH, interval=100.0, overhead=10.0, hit=1.0)
+        rng = np.random.default_rng(0)
+        # Periodic banks 200; predictive banks work_done(250)-10.
+        saved = m.progress_at_kill(0.0, 250.0, 1000.0, rng)
+        assert saved == pytest.approx(m.work_done(250.0) - 10.0)

@@ -1,0 +1,78 @@
+"""Engine guard rails: event budgets, allocations iterator, dispatch abort."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.jobstate import JobState
+from repro.core.policies import KrevatPolicy
+from repro.core.simulator import Simulator, simulate
+from repro.errors import SimulationError
+from repro.failures.events import FailureLog
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.geometry.partition import Partition
+from repro.geometry.torus import Torus
+from repro.workloads.job import Job, Workload
+
+D = BGL_SUPERNODE_DIMS
+N = D.volume
+
+
+class TestEventBudget:
+    def test_budget_exhaustion_raises(self):
+        jobs = tuple(Job(i, float(i), 1, 10.0) for i in range(20))
+        workload = Workload("t", N, jobs)
+        config = SimulationConfig(max_events=5)
+        with pytest.raises(SimulationError, match="event budget"):
+            simulate(workload, FailureLog(N), KrevatPolicy(), config)
+
+    def test_generous_budget_fine(self):
+        jobs = tuple(Job(i, float(i), 1, 10.0) for i in range(20))
+        workload = Workload("t", N, jobs)
+        report = simulate(workload, FailureLog(N), KrevatPolicy(), SimulationConfig())
+        assert report.timing.n_jobs == 20
+
+
+class TestTorusAllocationsView:
+    def test_allocations_iterates_pairs(self):
+        t = Torus(D)
+        t.allocate(3, Partition((0, 0, 0), (1, 1, 1)))
+        t.allocate(5, Partition((2, 2, 2), (1, 1, 2)))
+        pairs = dict(t.allocations())
+        assert set(pairs) == {3, 5}
+        assert pairs[5].size == 2
+        assert t.n_jobs == 2
+
+
+class TestAbortDispatch:
+    def test_abort_rolls_back(self):
+        s = JobState(Job(0, 0.0, 4, 100.0))
+        epoch = s.dispatch(10.0, 100.0)
+        s.abort_dispatch()
+        assert not s.running
+        assert s.restarts == 0
+        # The aborted epoch can never deliver a stale FINISH.
+        assert s.epoch > epoch
+
+    def test_abort_without_dispatch_rejected(self):
+        s = JobState(Job(0, 0.0, 4, 100.0))
+        with pytest.raises(SimulationError):
+            s.abort_dispatch()
+
+
+class TestSimulatorConstruction:
+    def test_states_created_per_job(self):
+        jobs = tuple(Job(i, float(i), 2, 50.0) for i in range(5))
+        sim = Simulator(Workload("t", N, jobs), FailureLog(N), KrevatPolicy())
+        assert set(sim.states) == {0, 1, 2, 3, 4}
+        assert len(sim.events) == 5  # arrivals only, no failures
+
+    def test_failure_events_enqueued(self):
+        from repro.failures.events import FailureEvent
+
+        log = FailureLog(N, [FailureEvent(5.0, 1), FailureEvent(9.0, 2)])
+        sim = Simulator(
+            Workload("t", N, (Job(0, 0.0, 1, 10.0),)), log, KrevatPolicy()
+        )
+        assert len(sim.events) == 3

@@ -1,0 +1,47 @@
+"""Tests for sweep-level caching and environment knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import default_n_jobs, default_seeds, _horizon_s
+from repro.experiments.sweep import SweepPoint, run_point, run_sweep
+
+
+class TestResultCaching:
+    def test_run_point_memoised(self):
+        point = SweepPoint("nasa", 25, 1.0, 3, "balancing", 0.5)
+        a = run_point(point, seeds=(0,))
+        b = run_point(point, seeds=(0,))
+        assert a is b  # cache hit, not a re-run
+
+    def test_different_seeds_not_conflated(self):
+        point = SweepPoint("nasa", 25, 1.0, 3, "balancing", 0.5)
+        a = run_point(point, seeds=(0,))
+        b = run_point(point, seeds=(1,))
+        assert a is not b
+
+    def test_run_sweep_returns_per_point(self):
+        points = [
+            SweepPoint("nasa", 25, 1.0, 0, "krevat", 0.0),
+            SweepPoint("nasa", 25, 1.0, 3, "krevat", 0.0),
+        ]
+        results = run_sweep(points, seeds=(0,))
+        assert len(results) == 2
+        assert results[0].point.n_failures == 0
+        assert results[1].point.n_failures == 3
+
+
+class TestEnvKnobs:
+    def test_default_n_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIG_JOBS", "77")
+        assert default_n_jobs() == 77
+
+    def test_default_seeds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIG_SEEDS", "3")
+        assert default_seeds() == (0, 1, 2)
+
+    def test_horizon_positive_and_scales_with_jobs(self):
+        small = _horizon_s("nasa", 30, 1.0)
+        large = _horizon_s("nasa", 120, 1.0)
+        assert 0 < small < large

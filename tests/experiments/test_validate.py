@@ -1,0 +1,100 @@
+"""Tests for figure shape validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureResult
+from repro.experiments.sweep import SweepPoint, SweepResult
+from repro.experiments.validate import validate_figure
+
+
+def sweep_result(slowdown=10.0, kills=1.0, utilized=0.5, unused=0.3, lost=0.2):
+    point = SweepPoint("sdsc", 10, 1.0, 0, "balancing", 0.0)
+    return SweepResult(
+        point=point, n_seeds=1, avg_bounded_slowdown=slowdown,
+        avg_response=100.0, avg_wait=10.0, utilized=utilized,
+        unused=unused, lost=lost, job_kills=kills, failures_hit_jobs=kills,
+    )
+
+
+def failure_figure(rows):
+    fig = FigureResult("fig3", "t", "paper failure count", "bounded_slowdown")
+    fig.series["a=0.0"] = rows
+    return fig
+
+
+def prediction_figure(rows):
+    fig = FigureResult("fig6", "t", "confidence", "bounded_slowdown")
+    fig.series["sdsc c=1.0"] = rows
+    return fig
+
+
+class TestInvariants:
+    def test_healthy_failure_figure(self):
+        fig = failure_figure([
+            (0.0, sweep_result(slowdown=10.0, kills=0.0)),
+            (4000.0, sweep_result(slowdown=50.0, kills=5.0, lost=0.4, unused=0.1)),
+        ])
+        report = validate_figure(fig)
+        assert report.invariants_ok
+        assert report.expectations_met == report.expectations_total
+
+    def test_conservation_violation_detected(self):
+        fig = failure_figure([(0.0, sweep_result(utilized=0.9, unused=0.9, lost=0.9))])
+        report = validate_figure(fig)
+        assert not report.invariants_ok
+
+    def test_kills_at_zero_failures_detected(self):
+        fig = failure_figure([(0.0, sweep_result(kills=3.0))])
+        report = validate_figure(fig)
+        assert not report.invariants_ok
+
+    def test_unsorted_axis_detected(self):
+        fig = failure_figure([
+            (4000.0, sweep_result()),
+            (0.0, sweep_result(kills=0.0)),
+        ])
+        # rows stored out of order
+        report = validate_figure(fig)
+        assert not report.invariants_ok
+
+    def test_unknown_axis_rejected(self):
+        fig = FigureResult("figX", "t", "bananas", "bounded_slowdown")
+        fig.series["s"] = [(0.0, sweep_result())]
+        with pytest.raises(ExperimentError):
+            validate_figure(fig)
+
+
+class TestExpectations:
+    def test_failures_that_do_not_degrade_flagged(self):
+        fig = failure_figure([
+            (0.0, sweep_result(slowdown=50.0, kills=0.0)),
+            (4000.0, sweep_result(slowdown=10.0, kills=5.0)),
+        ])
+        report = validate_figure(fig)
+        assert report.invariants_ok  # not a bug, just unexpected
+        assert report.expectations_met < report.expectations_total
+
+    def test_prediction_axis_front_loaded_gains_pass(self):
+        # Most of the kill reduction arrives at a=0.1 (paper's pattern).
+        kills = [6.0, 3.0, 2.8, 2.7, 2.6, 2.5, 2.4, 2.3, 2.2, 2.1, 2.0]
+        rows = [(round(0.1 * i, 1), sweep_result(kills=k)) for i, k in enumerate(kills)]
+        report = validate_figure(prediction_figure(rows))
+        assert report.invariants_ok
+        assert report.expectations_met == report.expectations_total
+
+    def test_prediction_axis_linear_gains_flagged(self):
+        # A linear decline is NOT the paper's front-loaded shape: the
+        # diminishing-returns expectation must report a miss.
+        rows = [(round(0.1 * i, 1), sweep_result(kills=10.0 - i)) for i in range(11)]
+        report = validate_figure(prediction_figure(rows))
+        assert report.invariants_ok
+        assert report.expectations_met < report.expectations_total
+
+    def test_summary_format(self):
+        fig = failure_figure([(0.0, sweep_result(kills=0.0))])
+        text = validate_figure(fig).summary()
+        assert "validation[fig3]" in text
+        assert "invariants OK" in text

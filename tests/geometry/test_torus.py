@@ -1,0 +1,202 @@
+"""Unit and property tests for the torus occupancy grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError, PartitionOverlapError, UnknownJobError
+from repro.geometry.coords import BGL_SUPERNODE_DIMS, TorusDims
+from repro.geometry.partition import Partition
+from repro.geometry.torus import FREE, Torus, circular_window_sum
+
+D = BGL_SUPERNODE_DIMS
+
+
+def make_torus() -> Torus:
+    return Torus(D)
+
+
+class TestCircularWindowSum:
+    def test_unit_window_is_identity(self):
+        rng = np.random.default_rng(0)
+        g = rng.integers(0, 5, size=(4, 4, 8))
+        assert np.array_equal(circular_window_sum(g, (1, 1, 1)), g)
+
+    def test_full_window_is_total(self):
+        rng = np.random.default_rng(1)
+        g = rng.integers(0, 5, size=(3, 4, 5))
+        out = circular_window_sum(g, (3, 4, 5))
+        assert (out == g.sum()).all()
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        g = rng.integers(0, 3, size=(3, 4, 5))
+        shape = (2, 3, 4)
+        out = circular_window_sum(g, shape)
+        for x in range(3):
+            for y in range(4):
+                for z in range(5):
+                    expected = sum(
+                        g[(x + i) % 3, (y + j) % 4, (z + k) % 5]
+                        for i in range(shape[0])
+                        for j in range(shape[1])
+                        for k in range(shape[2])
+                    )
+                    assert out[x, y, z] == expected
+
+    @given(st.integers(0, 10_000), st.tuples(st.integers(1, 3), st.integers(1, 4), st.integers(1, 5)))
+    @settings(max_examples=25)
+    def test_random_grids_match_bruteforce(self, seed, shape):
+        rng = np.random.default_rng(seed)
+        g = rng.integers(0, 2, size=(3, 4, 5))
+        out = circular_window_sum(g, shape)
+        x, y, z = rng.integers(0, 3), rng.integers(0, 4), rng.integers(0, 5)
+        expected = sum(
+            g[(x + i) % 3, (y + j) % 4, (z + k) % 5]
+            for i in range(shape[0])
+            for j in range(shape[1])
+            for k in range(shape[2])
+        )
+        assert out[x, y, z] == expected
+
+
+class TestAllocation:
+    def test_fresh_torus_all_free(self):
+        t = make_torus()
+        assert t.free_count == 128
+        assert t.busy_count == 0
+        assert t.n_jobs == 0
+
+    def test_allocate_and_release(self):
+        t = make_torus()
+        p = Partition((0, 0, 0), (2, 2, 2))
+        t.allocate(7, p)
+        assert t.free_count == 120
+        assert t.allocation_of(7) == p
+        assert t.owner((1, 1, 1)) == 7
+        assert t.owner((2, 2, 2)) is None
+        released = t.release(7)
+        assert released == p
+        assert t.free_count == 128
+
+    def test_overlap_rejected(self):
+        t = make_torus()
+        t.allocate(1, Partition((0, 0, 0), (2, 2, 2)))
+        with pytest.raises(PartitionOverlapError):
+            t.allocate(2, Partition((1, 1, 1), (2, 2, 2)))
+        # failed allocation must not corrupt state
+        t.check_invariants()
+        assert t.free_count == 120
+
+    def test_double_allocation_rejected(self):
+        t = make_torus()
+        t.allocate(1, Partition((0, 0, 0), (1, 1, 1)))
+        with pytest.raises(PartitionOverlapError):
+            t.allocate(1, Partition((2, 2, 2), (1, 1, 1)))
+
+    def test_negative_job_id_rejected(self):
+        t = make_torus()
+        with pytest.raises(GeometryError):
+            t.allocate(-1, Partition((0, 0, 0), (1, 1, 1)))
+
+    def test_release_unknown_job(self):
+        t = make_torus()
+        with pytest.raises(UnknownJobError):
+            t.release(42)
+
+    def test_wrapping_allocation(self):
+        t = make_torus()
+        p = Partition((3, 3, 7), (2, 2, 2))
+        t.allocate(5, p)
+        assert t.owner((0, 0, 0)) == 5
+        assert t.owner((3, 3, 7)) == 5
+        assert t.free_count == 120
+        t.check_invariants()
+
+    def test_is_free_and_free_nodes_in(self):
+        t = make_torus()
+        busy = Partition((0, 0, 0), (2, 2, 2))
+        t.allocate(1, busy)
+        assert not t.is_free(Partition((1, 1, 1), (2, 2, 2)))
+        assert t.is_free(Partition((2, 2, 2), (2, 2, 2)))
+        assert t.free_nodes_in(Partition((0, 0, 0), (4, 4, 8))) == 120
+        assert t.free_nodes_in(busy) == 0
+
+    def test_owner_by_index(self):
+        t = make_torus()
+        p = Partition((1, 2, 3), (1, 1, 1))
+        t.allocate(9, p)
+        idx = D.index((1, 2, 3))
+        assert t.owner_by_index(idx) == 9
+        assert t.owner_by_index(0) is None
+
+    def test_clear(self):
+        t = make_torus()
+        t.allocate(1, Partition((0, 0, 0), (2, 2, 2)))
+        t.clear()
+        assert t.free_count == 128
+        assert t.n_jobs == 0
+
+    def test_version_bumps_on_mutation(self):
+        t = make_torus()
+        v0 = t.version
+        t.allocate(1, Partition((0, 0, 0), (1, 1, 1)))
+        v1 = t.version
+        t.release(1)
+        assert v1 > v0 and t.version > v1
+
+    def test_snapshot_restore(self):
+        t = make_torus()
+        t.allocate(1, Partition((0, 0, 0), (2, 2, 2)))
+        snap = t.snapshot()
+        t.allocate(2, Partition((2, 2, 2), (2, 2, 2)))
+        t.release(1)
+        t.restore(snap)
+        assert t.n_jobs == 1
+        assert t.allocation_of(1) == Partition((0, 0, 0), (2, 2, 2))
+        assert t.free_count == 120
+        t.check_invariants()
+
+
+@st.composite
+def allocation_sequences(draw):
+    """Random sequences of non-overlapping allocations on a small torus."""
+    dims = TorusDims(3, 3, 4)
+    n = draw(st.integers(0, 8))
+    parts = []
+    for _ in range(n):
+        base = (
+            draw(st.integers(0, dims.x - 1)),
+            draw(st.integers(0, dims.y - 1)),
+            draw(st.integers(0, dims.z - 1)),
+        )
+        shape = (
+            draw(st.integers(1, dims.x)),
+            draw(st.integers(1, dims.y)),
+            draw(st.integers(1, dims.z)),
+        )
+        parts.append(Partition(base, shape))
+    return dims, parts
+
+
+class TestAllocationProperties:
+    @given(allocation_sequences())
+    @settings(max_examples=60)
+    def test_free_count_conservation(self, seq):
+        dims, parts = seq
+        t = Torus(dims)
+        placed = []
+        for i, p in enumerate(parts):
+            try:
+                t.allocate(i, p)
+                placed.append((i, p))
+            except PartitionOverlapError:
+                pass
+        t.check_invariants()
+        assert t.busy_count == sum(p.size for _, p in placed)
+        for i, p in reversed(placed):
+            t.release(i)
+        assert t.free_count == dims.volume
+        t.check_invariants()

@@ -1,0 +1,103 @@
+"""Tests for the capacity integrals (ω_util, ω_unused, ω_lost)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.metrics.capacity import CapacitySummary, CapacityTracker
+
+
+class TestTracker:
+    def test_simple_integral(self):
+        t = CapacityTracker(128)
+        t.record(0.0, 128, 0)      # surplus 128 for 10 s
+        t.record(10.0, 64, 0)      # surplus 64 for 10 s
+        t.record(20.0, 64, 100)    # surplus 0 for 10 s (queue wants more)
+        t.close(30.0)
+        assert t.surplus_integral() == pytest.approx(128 * 10 + 64 * 10)
+
+    def test_surplus_clamped_at_zero(self):
+        t = CapacityTracker(128)
+        t.record(0.0, 10, 50)
+        t.close(10.0)
+        assert t.surplus_integral() == 0.0
+
+    def test_time_must_not_rewind(self):
+        t = CapacityTracker(128)
+        t.record(10.0, 128, 0)
+        with pytest.raises(SimulationError):
+            t.record(5.0, 128, 0)
+
+    def test_range_validation(self):
+        t = CapacityTracker(128)
+        with pytest.raises(SimulationError):
+            t.record(0.0, 129, 0)
+        with pytest.raises(SimulationError):
+            t.record(0.0, -1, 0)
+        with pytest.raises(SimulationError):
+            t.record(0.0, 0, -1)
+
+    def test_zero_duration_segments(self):
+        t = CapacityTracker(128)
+        t.record(5.0, 128, 0)
+        t.record(5.0, 0, 0)
+        t.close(5.0)
+        assert t.surplus_integral() == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.integers(0, 128), st.integers(0, 256)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_integral_matches_bruteforce(self, samples):
+        samples = sorted(samples, key=lambda s: s[0])
+        t = CapacityTracker(128)
+        for time, free, queued in samples:
+            t.record(time, free, queued)
+        t.close(samples[-1][0] + 10.0)
+        expected = 0.0
+        times = [s[0] for s in samples] + [samples[-1][0] + 10.0]
+        for i, (time, free, queued) in enumerate(samples):
+            expected += (times[i + 1] - times[i]) * max(0, free - queued)
+        assert t.surplus_integral() == pytest.approx(expected)
+
+
+class TestSummary:
+    def test_fractions_sum_to_one(self):
+        t = CapacityTracker(128)
+        t.record(0.0, 128, 0)
+        t.record(50.0, 0, 0)
+        t.close(100.0)
+        # 50 s fully idle-no-demand + 50 s fully busy; useful work equals
+        # the busy node-seconds.
+        s = CapacitySummary.from_tracker(t, useful_work=128 * 50.0, start_time=0.0, end_time=100.0)
+        assert s.utilized == pytest.approx(0.5)
+        assert s.unused == pytest.approx(0.5)
+        assert s.lost == pytest.approx(0.0, abs=1e-12)
+        assert s.utilized + s.unused + s.lost == pytest.approx(1.0)
+
+    def test_lost_captures_failures_and_fragmentation(self):
+        t = CapacityTracker(128)
+        t.record(0.0, 64, 100)  # half busy but queue starving: no surplus
+        t.close(100.0)
+        s = CapacitySummary.from_tracker(t, useful_work=64 * 100.0, start_time=0.0, end_time=100.0)
+        assert s.utilized == pytest.approx(0.5)
+        assert s.unused == 0.0
+        assert s.lost == pytest.approx(0.5)
+
+    def test_degenerate_span(self):
+        t = CapacityTracker(128)
+        s = CapacitySummary.from_tracker(t, 0.0, 0.0, 0.0)
+        assert s.utilized == 0.0 and s.span == 0.0
+
+    def test_str_smoke(self):
+        t = CapacityTracker(128)
+        t.record(0.0, 128, 0)
+        t.close(10.0)
+        s = CapacitySummary.from_tracker(t, 0.0, 0.0, 10.0)
+        assert "util" in str(s)

@@ -1,0 +1,64 @@
+"""Tests for report assembly and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.capacity import CapacitySummary, CapacityTracker
+from repro.metrics.report import Counters, SimulationReport
+from repro.metrics.timing import JobRecord
+
+
+def record(job_id=0):
+    return JobRecord(
+        job_id=job_id, size=4, arrival=0.0, start=10.0, finish=110.0,
+        runtime=100.0, estimate=100.0, restarts=1, lost_work=40.0,
+    )
+
+
+def capacity():
+    t = CapacityTracker(128)
+    t.record(0.0, 128, 0)
+    t.close(110.0)
+    return CapacitySummary.from_tracker(t, 400.0, 0.0, 110.0)
+
+
+class TestBuild:
+    def test_aggregates_timing(self):
+        report = SimulationReport.build(
+            policy="krevat", workload="w", n_failures=3,
+            records=[record(0), record(1)], capacity=capacity(),
+            counters=Counters(failures_total=3),
+        )
+        assert report.timing.n_jobs == 2
+        assert report.timing.total_restarts == 2
+        assert report.timing.total_lost_work == 80.0
+        assert report.counters.failures_total == 3
+        assert report.n_failures == 3
+
+    def test_parameters_dict_copied(self):
+        params = {"a": 1}
+        report = SimulationReport.build(
+            policy="p", workload="w", n_failures=0, records=[],
+            capacity=capacity(), counters=Counters(), parameters=params,
+        )
+        params["a"] = 2
+        assert report.parameters["a"] == 1
+
+    def test_summary_line_contains_key_fields(self):
+        report = SimulationReport.build(
+            policy="balancing", workload="sdsc", n_failures=7,
+            records=[record()], capacity=capacity(), counters=Counters(),
+        )
+        line = report.summary_line()
+        assert "balancing" in line and "sdsc" in line and "fail=7" in line
+        assert "slowdown=" in line and "util=" in line
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        c = Counters()
+        assert c.failures_total == 0
+        assert c.migrations == 0
+        assert c.backfills == 0
+        assert c.checkpoint_restores == 0

@@ -1,0 +1,109 @@
+"""Tests for wait/response/bounded-slowdown metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.metrics.timing import (
+    BoundedSlowdownRule,
+    GAMMA_SECONDS,
+    JobRecord,
+    bounded_slowdown,
+    summarize_timing,
+)
+
+
+def record(arrival=0.0, start=10.0, finish=110.0, runtime=100.0, **kw) -> JobRecord:
+    defaults = dict(job_id=0, size=4, estimate=runtime, restarts=0, lost_work=0.0)
+    defaults.update(kw)
+    return JobRecord(arrival=arrival, start=start, finish=finish, runtime=runtime, **defaults)
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_long_job(self):
+        # response == runtime == 100 > gamma: slowdown exactly 1.
+        assert bounded_slowdown(100.0, 100.0) == 1.0
+
+    def test_short_job_bounded_by_gamma(self):
+        # 1-second job answered in 1 second: NOT 1/1 but gamma-bounded.
+        assert bounded_slowdown(1.0, 1.0) == 1.0
+        # 1-second job answered in 20 seconds: 20/gamma = 2.
+        assert bounded_slowdown(20.0, 1.0) == 2.0
+
+    def test_standard_vs_paper_literal(self):
+        # 1000 s job, 2000 s response.
+        assert bounded_slowdown(2000.0, 1000.0, rule=BoundedSlowdownRule.STANDARD) == 2.0
+        # Literal paper formula divides by min(t_e, gamma) = 10.
+        assert (
+            bounded_slowdown(2000.0, 1000.0, rule=BoundedSlowdownRule.PAPER_LITERAL)
+            == 200.0
+        )
+
+    @given(st.floats(0.0, 1e6), st.floats(0.001, 1e6))
+    def test_literal_rule_dominates_standard(self, response, runtime):
+        # min(t_e, gamma) <= max(t_e, gamma), so the literal formula's
+        # slowdown is always at least the standard one.
+        literal = bounded_slowdown(response, runtime, rule=BoundedSlowdownRule.PAPER_LITERAL)
+        standard = bounded_slowdown(response, runtime, rule=BoundedSlowdownRule.STANDARD)
+        assert literal >= standard - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            bounded_slowdown(-1.0, 10.0)
+        with pytest.raises(SimulationError):
+            bounded_slowdown(10.0, 0.0)
+
+    @given(st.floats(0.0, 1e7), st.floats(0.001, 1e7))
+    def test_slowdown_at_least_gamma_ratio(self, response, runtime):
+        sd = bounded_slowdown(response, runtime)
+        assert sd >= min(1.0, max(response, GAMMA_SECONDS) / max(runtime, GAMMA_SECONDS)) - 1e-12
+        assert sd > 0
+
+    @given(st.floats(0.0, 1e7), st.floats(0.001, 1e7))
+    def test_monotone_in_response(self, response, runtime):
+        assert bounded_slowdown(response + 100.0, runtime) >= bounded_slowdown(
+            response, runtime
+        )
+
+
+class TestJobRecord:
+    def test_derived_times(self):
+        r = record(arrival=5.0, start=25.0, finish=125.0, runtime=100.0)
+        assert r.wait == 20.0
+        assert r.response == 120.0
+        assert r.slowdown() == pytest.approx(120.0 / 100.0)
+
+    def test_restarted_job_has_longer_response(self):
+        # Killed once: start of final run is late, response includes it.
+        r = record(arrival=0.0, start=500.0, finish=600.0, runtime=100.0, restarts=1)
+        assert r.wait == 500.0
+        assert r.slowdown() == pytest.approx(6.0)
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize_timing([])
+        assert s.n_jobs == 0 and s.avg_wait == 0.0
+
+    def test_averages(self):
+        records = [
+            record(arrival=0.0, start=0.0, finish=100.0, runtime=100.0),
+            record(job_id=1, arrival=0.0, start=100.0, finish=200.0, runtime=100.0),
+        ]
+        s = summarize_timing(records)
+        assert s.n_jobs == 2
+        assert s.avg_wait == 50.0
+        assert s.avg_response == 150.0
+        assert s.avg_bounded_slowdown == pytest.approx((1.0 + 2.0) / 2)
+        assert s.max_bounded_slowdown == 2.0
+
+    def test_restart_and_loss_totals(self):
+        records = [
+            record(restarts=2, lost_work=800.0),
+            record(job_id=1, restarts=1, lost_work=100.0),
+        ]
+        s = summarize_timing(records)
+        assert s.total_restarts == 3
+        assert s.total_lost_work == 900.0

@@ -1,0 +1,121 @@
+"""Tests for the top-level API and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import SimulationSetup, quick_simulate, run_simulation
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.workloads.job import Job, Workload
+from repro.workloads.swf import write_swf
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_exports(self):
+        assert repro.quick_simulate is quick_simulate
+        assert repro.SimulationSetup is SimulationSetup
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestQuickSimulate:
+    def test_end_to_end(self):
+        report = quick_simulate(
+            site="nasa", n_jobs=40, n_failures=5, policy="balancing",
+            confidence=0.5, seed=0,
+        )
+        assert report.timing.n_jobs == 40
+        assert 0.0 <= report.capacity.utilized <= 1.0
+        assert report.parameters["site"] == "nasa"
+
+    def test_krevat_policy(self):
+        report = quick_simulate(site="nasa", n_jobs=20, n_failures=0, policy="krevat")
+        assert report.policy == "krevat"
+        assert report.counters.job_kills == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            quick_simulate(n_jobs=-1)
+
+    def test_setup_equivalent(self):
+        a = quick_simulate(site="nasa", n_jobs=25, n_failures=3, confidence=0.3, seed=5)
+        b = run_simulation(
+            SimulationSetup(site="nasa", n_jobs=25, n_failures=3,
+                            policy="balancing", parameter=0.3, seed=5)
+        )
+        assert a.timing == b.timing
+        assert a.capacity == b.capacity
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        assert main(["run", "--site", "nasa", "--jobs", "20", "--failures", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown=" in out and "counters:" in out
+
+    def test_sites_command(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        assert "nasa" in out and "sdsc" in out and "llnl" in out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        assert "fig3" in capsys.readouterr().out
+
+    def test_swf_command(self, tmp_path, capsys):
+        workload = Workload(
+            "t", 128, tuple(Job(i, i * 60.0, 4, 120.0) for i in range(10))
+        )
+        path = tmp_path / "t.swf"
+        write_swf(workload, path)
+        assert main(["swf", str(path), "--failures", "2", "--policy", "krevat"]) == 0
+        assert "krevat" in capsys.readouterr().out
+
+    def test_swf_head_limits_jobs(self, tmp_path, capsys):
+        workload = Workload(
+            "t", 128, tuple(Job(i, i * 60.0, 2, 60.0) for i in range(30))
+        )
+        path = tmp_path / "t.swf"
+        write_swf(workload, path)
+        assert main(["swf", str(path), "--head", "5", "--failures", "0"]) == 0
+
+    def test_run_detail(self, capsys):
+        assert main(
+            ["run", "--site", "nasa", "--jobs", "30", "--failures", "3", "--detail"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Distributions:" in out
+        assert "histogram" in out
+        assert "size class" in out or "job-size class" in out
+
+    def test_characterize_site(self, capsys):
+        assert main(["characterize", "--site", "nasa", "--jobs", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload profile:" in out
+        assert "offered_load" in out
+        assert "failure-trace profile" in out
+
+    def test_compare_command(self, capsys):
+        assert main(
+            ["compare", "--site", "nasa", "--jobs", "25", "--failures", "3",
+             "--seeds", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "balancing vs krevat" in out
+        assert "mean over seeds" in out
+
+    def test_characterize_swf(self, tmp_path, capsys):
+        workload = Workload(
+            "t", 128, tuple(Job(i, i * 60.0, 4, 120.0) for i in range(20))
+        )
+        path = tmp_path / "c.swf"
+        write_swf(workload, path)
+        assert main(["characterize", "--swf", str(path)]) == 0
+        assert "n_jobs" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Tests for site models and the synthetic trace generator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.models import (
+    LLNL_T3D,
+    NASA_IPSC,
+    SDSC_SP,
+    SiteModel,
+    available_sites,
+    site_model,
+)
+from repro.workloads.synthetic import generate_workload
+
+
+class TestSiteModels:
+    def test_registry(self):
+        assert set(available_sites()) == {"nasa", "sdsc", "llnl"}
+        assert site_model("SDSC") is SDSC_SP
+        assert site_model("nasa") is NASA_IPSC
+        assert site_model("llnl") is LLNL_T3D
+
+    def test_unknown_site(self):
+        with pytest.raises(WorkloadError, match="unknown site"):
+            site_model("earth-simulator")
+
+    def test_llnl_maps_to_128(self):
+        assert LLNL_T3D.machine_nodes == 256
+        assert LLNL_T3D.size_divisor == 2
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mean_interarrival_s", -1.0),
+            ("diurnal_amplitude", 1.5),
+            ("p_power_of_two", 2.0),
+            ("min_size", 0),
+            ("size_divisor", 0),
+            ("max_runtime_s", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        import dataclasses
+
+        with pytest.raises(WorkloadError):
+            dataclasses.replace(SDSC_SP, **{field: value})
+
+
+class TestGenerator:
+    def test_determinism(self):
+        a = generate_workload(SDSC_SP, 100, seed=42)
+        b = generate_workload(SDSC_SP, 100, seed=42)
+        assert a.jobs == b.jobs
+
+    def test_seed_changes_output(self):
+        a = generate_workload(SDSC_SP, 100, seed=1)
+        b = generate_workload(SDSC_SP, 100, seed=2)
+        assert a.jobs != b.jobs
+
+    def test_count_and_bounds(self):
+        w = generate_workload(SDSC_SP, 500, seed=0)
+        assert len(w) == 500
+        assert w.machine_nodes == 128
+        for j in w:
+            assert 1 <= j.size <= 128
+            assert 1.0 <= j.runtime <= SDSC_SP.max_runtime_s
+            assert j.estimate >= j.runtime or math.isclose(j.estimate, j.runtime)
+            assert j.arrival >= 0
+
+    def test_arrivals_strictly_ordered(self):
+        w = generate_workload(NASA_IPSC, 300, seed=3)
+        arrivals = [j.arrival for j in w]
+        assert arrivals == sorted(arrivals)
+
+    def test_llnl_sizes_halved_and_bounded(self):
+        w = generate_workload(LLNL_T3D, 300, seed=0)
+        assert w.machine_nodes == 128
+        for j in w:
+            assert 4 <= j.size <= 128  # min_size 8 halved
+
+    def test_llnl_all_powers_of_two(self):
+        w = generate_workload(LLNL_T3D, 200, seed=1)
+        for j in w:
+            assert j.size & (j.size - 1) == 0, j.size
+
+    def test_nasa_unit_job_share(self):
+        w = generate_workload(NASA_IPSC, 2000, seed=0)
+        unit = sum(1 for j in w if j.size == 1)
+        # p_unit_job = 0.55; allow generous sampling slack.
+        assert 0.45 < unit / len(w) < 0.65
+
+    def test_empty_workload(self):
+        w = generate_workload(SDSC_SP, 0, seed=0)
+        assert len(w) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_workload(SDSC_SP, -1)
+
+    def test_mean_interarrival_close_to_model(self):
+        w = generate_workload(SDSC_SP, 3000, seed=0)
+        mean_gap = w.span / (len(w) - 1)
+        assert mean_gap == pytest.approx(SDSC_SP.mean_interarrival_s, rel=0.25)
+
+    def test_size_runtime_correlation_positive(self):
+        w = generate_workload(SDSC_SP, 3000, seed=0)
+        sizes = np.array([j.size for j in w], dtype=float)
+        runtimes = np.array([j.runtime for j in w])
+        rho = np.corrcoef(np.log(sizes + 1), np.log(runtimes))[0, 1]
+        assert rho > 0.2
+
+    @given(st.integers(0, 2**31), st.sampled_from([NASA_IPSC, SDSC_SP, LLNL_T3D]))
+    @settings(max_examples=10, deadline=None)
+    def test_generator_invariants(self, seed, model):
+        w = generate_workload(model, 50, seed=seed)
+        assert len(w) == 50
+        machine = max(1, model.machine_nodes // model.size_divisor)
+        for j in w:
+            assert 1 <= j.size <= machine
+            assert j.runtime > 0 and j.estimate > 0
