@@ -4,9 +4,24 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.errors import GeometryError
+from repro.geometry.coords import Coord
 from repro.geometry.partition import Partition
 from repro.geometry.torus import Torus
+
+
+def partitions_from_bases(bases: np.ndarray, shape: Coord) -> list[Partition]:
+    """Materialise ``np.argwhere``-style base rows into partitions.
+
+    Shared by the vectorised finders; rows arrive in row-major (x, y, z)
+    order from ``argwhere``, which is the enumeration order the finder
+    contract promises.
+    """
+    return [
+        Partition((int(bx), int(by), int(bz)), shape) for bx, by, bz in bases
+    ]
 
 
 class PartitionFinder(abc.ABC):
@@ -17,6 +32,13 @@ class PartitionFinder(abc.ABC):
     primary torus cell.  Duplicated node sets (shapes spanning a full
     axis) are permitted in the raw output; :meth:`find_free_unique`
     deduplicates canonically.
+
+    Enumeration order is part of the contract (tie-breaking policies and
+    cross-validation depend on it): shapes in
+    :func:`~repro.geometry.shapes.shapes_for_size` order (divisor order —
+    ascending first extent, then second), bases row-major ``(x, y, z)``
+    within each shape.  Every shipped finder honours this, which is
+    verified by :class:`repro.testing.CrossValidator`.
     """
 
     #: Short name used by the registry and CLI.

@@ -23,7 +23,7 @@ import numpy as np
 from repro.geometry.partition import Partition
 from repro.geometry.shapes import shapes_for_size
 from repro.geometry.torus import FREE, Torus, circular_window_sum
-from repro.allocation.base import PartitionFinder
+from repro.allocation.base import PartitionFinder, partitions_from_bases
 
 
 class FastFinder(PartitionFinder):
@@ -47,9 +47,7 @@ class FastFinder(PartitionFinder):
         out: list[Partition] = []
         for shape in shapes_for_size(size, dims):
             blocked = circular_window_sum(busy, shape)
-            bases = np.argwhere(blocked == 0)
-            for bx, by, bz in bases:
-                out.append(Partition((int(bx), int(by), int(bz)), shape))
+            out.extend(partitions_from_bases(np.argwhere(blocked == 0), shape))
         return out
 
     # ------------------------------------------------------------------

@@ -16,7 +16,14 @@ from repro.allocation.base import PartitionFinder
 
 
 class NaiveFinder(PartitionFinder):
-    """Pure-Python exhaustive search over all bases and shapes."""
+    """Pure-Python exhaustive search over all bases and shapes.
+
+    The triple shape loop visits ``(a, b, c)`` in ascending lexicographic
+    order, which coincides with :func:`shapes_for_size`'s divisor order —
+    so the enumeration-order contract of :class:`PartitionFinder` holds
+    here too, and :class:`repro.testing.CrossValidator` can compare
+    ordered outputs across all finders.
+    """
 
     name = "naive"
 

@@ -17,10 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.coords import TorusDims
-from repro.geometry.partition import Partition
 from repro.geometry.shapes import shapes_for_size
 from repro.geometry.torus import Torus, circular_window_sum
-from repro.allocation.base import PartitionFinder
+from repro.allocation.base import PartitionFinder, partitions_from_bases
 
 
 def z_free_runs(free: np.ndarray, dims: TorusDims) -> np.ndarray:
@@ -56,7 +55,5 @@ class POPFinder(PartitionFinder):
             ok = (runs >= c).astype(np.int64)
             # A box is free iff all a*b columns in its x/y window qualify.
             window = circular_window_sum(ok, (a, b, 1))
-            bases = np.argwhere(window == a * b)
-            for bx, by, bz in bases:
-                out.append(Partition((int(bx), int(by), int(bz)), shape))
+            out.extend(partitions_from_bases(np.argwhere(window == a * b), shape))
         return out

@@ -53,6 +53,13 @@ class SimulationConfig:
     #: Re-verify torus invariants after every scheduler pass (slow; for
     #: tests and debugging).
     strict_invariants: bool = False
+    #: Attach the full :mod:`repro.testing` oracle harness: occupancy
+    #: invariants, event-ordering checks and an independent recomputation
+    #: of the unused-capacity integral.  Strictly observational — the
+    #: report is bit-for-bit identical with the flag on or off.  Slower
+    #: than ``strict_invariants``; default off, on throughout the test
+    #: suite.
+    check_invariants: bool = False
     #: Hard cap on processed events, guarding against livelock bugs.
     max_events: int = 50_000_000
 

@@ -59,10 +59,15 @@ def plan_compaction(
             return None
         scratch.allocate(js.job_id, best)
         placements.append((js.job_id, best))
+    # Canonical comparison: a full-axis-span partition re-placed under a
+    # different base is the same node set — not a move, and must not be
+    # charged migration cost.
     moved = tuple(
         job_id
         for job_id, part in placements
-        if job_id != head.job_id and torus.allocation_of(job_id) != part
+        if job_id != head.job_id
+        and torus.allocation_of(job_id).canonical(torus.dims)
+        != part.canonical(torus.dims)
     )
     return CompactionPlan(tuple(placements), moved)
 

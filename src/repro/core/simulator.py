@@ -17,6 +17,7 @@ on free nodes are harmless (the simulated repair time is zero).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from repro.core.jobstate import MIN_ESTIMATE_S, JobState
 from repro.core.migration import apply_compaction, head_partition, plan_compaction
 from repro.core.policies.base import SchedulingPolicy
 from repro.core.queue import WaitQueue
+
+if TYPE_CHECKING:  # deferred: repro.testing imports repro.core.events
+    from repro.testing.harness import SimulationOracleHarness
 
 #: Tolerance when comparing estimated finishes against the shadow time.
 _SHADOW_EPS = 1e-9
@@ -75,6 +79,11 @@ class Simulator:
         self.records: list[JobRecord] = []
         self.checkpoint = CheckpointModel(self.config.checkpoint)
         self.rng = np.random.default_rng(self.config.seed)
+        self.oracles: SimulationOracleHarness | None = None
+        if self.config.check_invariants:
+            from repro.testing.harness import SimulationOracleHarness
+
+            self.oracles = SimulationOracleHarness(dims.volume)
         self._completed = 0
         self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
         self._running_ids: set[int] = set()
@@ -106,11 +115,17 @@ class Simulator:
         if n_jobs == 0:
             return self._report(end_time=self._min_arrival)
         self.tracker.record(self._min_arrival, self.torus.dims.volume, 0)
+        if self.oracles is not None:
+            self.oracles.record_capacity(
+                self._min_arrival, self.torus.dims.volume, 0
+            )
         processed = 0
         last_time = self._min_arrival
         while self.events and self._completed < n_jobs:
             batch = self.events.pop_batch()
             now = batch[0].time
+            if self.oracles is not None:
+                self.oracles.observe_batch(batch)
             for event in batch:
                 processed += 1
                 if processed > self.config.max_events:
@@ -129,8 +144,14 @@ class Simulator:
                 self.tracker.record(
                     now, self.torus.free_count, self.wait.requested_nodes
                 )
+                if self.oracles is not None:
+                    self.oracles.record_capacity(
+                        now, self.torus.free_count, self.wait.requested_nodes
+                    )
             if self.config.strict_invariants:
                 self.torus.check_invariants()
+            if self.oracles is not None:
+                self.oracles.check_torus(self.torus)
             last_time = now
         if self._completed < n_jobs:
             raise SimulationError(
@@ -269,6 +290,10 @@ class Simulator:
     def _report(self, end_time: float) -> SimulationReport:
         useful = sum(r.size * r.runtime for r in self.records)
         self.tracker.close(max(end_time, self._min_arrival))
+        if self.oracles is not None:
+            self.oracles.finalize(
+                max(end_time, self._min_arrival), self.tracker.surplus_integral()
+            )
         capacity = CapacitySummary.from_tracker(
             self.tracker, useful, self._min_arrival, end_time
         )

@@ -50,3 +50,18 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Invalid experiment specification in the benchmark harness."""
+
+
+class OracleError(ReproError):
+    """A runtime correctness oracle (:mod:`repro.testing`) detected a
+    violation of a simulator invariant."""
+
+
+class InvariantViolationError(OracleError):
+    """Machine state disagrees with itself: occupancy grid, allocation
+    map, free counts or event ordering are inconsistent."""
+
+
+class CrossValidationError(OracleError):
+    """Two independent implementations that must agree produced
+    different answers (e.g. the three partition finders)."""

@@ -242,9 +242,14 @@ class Torus:
     def check_invariants(self) -> None:
         """Assert the occupancy grid and the allocation map agree.
 
-        Used by tests and the simulator's debug mode.
+        Used by tests and the simulator's debug mode.  The richer (and
+        independently implemented) oracle is
+        :class:`repro.testing.InvariantChecker`; this quick form rebuilds
+        the expected grid from the map and additionally checks node-count
+        conservation (``free_count + Σ partition sizes == volume``).
         """
         expected = np.full(self.dims.as_tuple(), FREE, dtype=np.int64)
+        allocated_total = 0
         for job_id, partition in self._allocations.items():
             sel = np.ix_(*partition.axis_ranges(self.dims))
             if (expected[sel] != FREE).any():
@@ -252,8 +257,14 @@ class Torus:
                     f"allocation map has overlapping partitions at job {job_id}"
                 )
             expected[sel] = job_id
+            allocated_total += partition.size
         if not np.array_equal(expected, self.grid):
             raise GeometryError("occupancy grid disagrees with allocation map")
+        if self.free_count + allocated_total != self.dims.volume:
+            raise GeometryError(
+                f"node-count conservation broken: free={self.free_count} + "
+                f"allocated={allocated_total} != volume={self.dims.volume}"
+            )
 
     def __str__(self) -> str:  # pragma: no cover - repr sugar
         return (

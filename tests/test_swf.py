@@ -1,0 +1,183 @@
+"""Satellite suite: SWF round-trip and malformed-input handling (ISSUE 3).
+
+Complements ``tests/workloads/test_swf.py`` with a property-based
+``write_swf`` → ``parse_swf`` round-trip over random workloads and a
+systematic sweep of malformed-line and header behaviours.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SWFParseError
+from repro.workloads.job import Job, Workload
+from repro.workloads.swf import (
+    SWF_FIELDS,
+    parse_swf,
+    read_swf,
+    write_swf,
+)
+
+jobs_strategy = st.lists(
+    st.builds(
+        dict,
+        arrival=st.integers(0, 10**6),
+        size=st.integers(1, 128),
+        runtime=st.integers(1, 10**5),
+        estimate=st.integers(1, 10**5),
+    ),
+    max_size=30,
+)
+
+
+def build_workload(specs: list[dict], machine: int = 128) -> Workload:
+    jobs = tuple(
+        Job(job_id=i, arrival=float(s["arrival"]), size=s["size"],
+            runtime=float(s["runtime"]), estimate=float(s["estimate"]))
+        for i, s in enumerate(specs)
+    )
+    return Workload("roundtrip", machine, jobs)
+
+
+class TestRoundTrip:
+    @given(jobs_strategy)
+    def test_write_parse_preserves_jobs(self, specs):
+        """Integer-valued workloads survive the text round-trip exactly
+        (the writer rounds to whole seconds, so integers are lossless)."""
+        workload = build_workload(specs)
+        parsed = parse_swf(io.StringIO(write_swf(workload)))
+        assert parsed.machine_nodes == workload.machine_nodes
+        assert len(parsed.jobs) == len(workload.jobs)
+        for orig, back in zip(workload.jobs, parsed.jobs):
+            assert back.job_id == orig.job_id
+            assert back.arrival == orig.arrival
+            assert back.size == orig.size
+            assert back.runtime == orig.runtime
+            assert back.estimate == orig.estimate
+
+    @given(jobs_strategy)
+    def test_double_roundtrip_is_fixed_point(self, specs):
+        text = write_swf(build_workload(specs))
+        once = parse_swf(io.StringIO(text))
+        assert write_swf(once).splitlines()[3:] == text.splitlines()[3:]
+
+    def test_written_lines_have_full_field_count(self):
+        text = write_swf(build_workload([dict(arrival=0, size=4, runtime=60,
+                                              estimate=90)]))
+        records = [l for l in text.splitlines() if not l.startswith(";")]
+        assert len(records) == 1
+        assert len(records[0].split()) == SWF_FIELDS
+
+    def test_file_roundtrip(self, tmp_path: Path):
+        workload = build_workload(
+            [dict(arrival=10, size=8, runtime=300, estimate=400)]
+        )
+        path = tmp_path / "trace.swf"
+        write_swf(workload, path)
+        back = read_swf(path)
+        assert back.name == "trace"  # stem becomes the workload name
+        assert back.jobs[0].size == 8
+
+
+def parse_text(text: str) -> Workload:
+    return parse_swf(io.StringIO(text))
+
+
+RECORD = "0 100 -1 60 4 -1 -1 4 90 -1 -1 -1 -1 -1 -1 -1 -1 -1"
+
+
+class TestMalformedInput:
+    def test_short_line_raises(self):
+        with pytest.raises(SWFParseError, match="expected >= 9 fields"):
+            parse_text("1 2 3\n")
+
+    def test_non_numeric_field_raises(self):
+        with pytest.raises(SWFParseError, match="non-numeric"):
+            parse_text(RECORD.replace("100", "abc", 1))
+
+    def test_malformed_maxprocs_header_raises(self):
+        with pytest.raises(SWFParseError, match="MaxProcs"):
+            parse_text("; MaxProcs: lots\n" + RECORD + "\n")
+
+    def test_error_reports_line_number(self):
+        text = RECORD + "\n" + "1 2 3\n"
+        with pytest.raises(SWFParseError, match="line 2"):
+            parse_text(text)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            ("60", "0"),      # zero runtime: cancelled submission
+            ("60", "-5"),     # negative runtime
+            ("0 100", "-1 100"),  # negative job id
+            ("100", "-100"),  # negative submit time
+        ],
+    )
+    def test_invalid_submissions_are_skipped_not_fatal(self, mutation):
+        old, new = mutation
+        workload = parse_text(RECORD.replace(old, new, 1) + "\n" + RECORD + "\n")
+        assert len(workload.jobs) == 1  # the clean record survives
+
+    def test_zero_size_after_fallback_is_skipped(self):
+        # requested (field 8) and allocated (field 5) both non-positive
+        line = "0 100 -1 60 -1 -1 -1 -1 90 " + "-1 " * 9
+        workload = parse_text(line.strip() + "\n")
+        assert workload.jobs == ()
+
+
+class TestHeaderHandling:
+    def test_maxprocs_header_sets_machine_size(self):
+        workload = parse_text("; MaxProcs: 512\n" + RECORD + "\n")
+        assert workload.machine_nodes == 512
+
+    def test_maxprocs_case_insensitive_and_padded(self):
+        workload = parse_text(";  maxprocs:   256  \n" + RECORD + "\n")
+        assert workload.machine_nodes == 256
+
+    def test_missing_maxprocs_falls_back_to_max_job_size(self):
+        big = "1" + RECORD.replace(" 4 ", " 64 ")[1:]
+        workload = parse_text(RECORD + "\n" + big + "\n")
+        assert workload.machine_nodes == 64
+
+    def test_other_headers_and_blank_lines_ignored(self):
+        text = (
+            "; Version: 2.2\n"
+            ";\n"
+            "\n"
+            "; Computer: BlueGene/L\n"
+            + RECORD + "\n"
+            "\n"
+        )
+        workload = parse_text(text)
+        assert len(workload.jobs) == 1
+
+    def test_empty_stream_yields_empty_workload(self):
+        workload = parse_text("")
+        assert workload.jobs == ()
+        assert workload.machine_nodes == 1  # documented default
+
+
+class TestFieldSemantics:
+    def test_requested_processors_preferred_over_allocated(self):
+        line = RECORD.split()
+        line[4] = "16"   # allocated
+        line[7] = "8"    # requested wins
+        workload = parse_text(" ".join(line) + "\n")
+        assert workload.jobs[0].size == 8
+
+    def test_allocated_is_fallback_when_requested_unknown(self):
+        line = RECORD.split()
+        line[4] = "16"
+        line[7] = "-1"
+        workload = parse_text(" ".join(line) + "\n")
+        assert workload.jobs[0].size == 16
+
+    def test_estimate_falls_back_to_runtime(self):
+        line = RECORD.split()
+        line[8] = "-1"   # requested time unknown
+        workload = parse_text(" ".join(line) + "\n")
+        assert workload.jobs[0].estimate == workload.jobs[0].runtime
