@@ -6,8 +6,10 @@ evaluation; the resulting series are written to
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` run
 leaves both the timing table and the data behind.
 
-Scale with ``REPRO_FIG_JOBS`` (jobs per simulation, default 400) and
-``REPRO_FIG_SEEDS`` (seeds averaged per point, default 2).
+Scale with ``REPRO_FIG_JOBS`` (jobs per simulation, default 400),
+``REPRO_FIG_SEEDS`` (seeds averaged per point, default 2) and
+``REPRO_FIG_WORKERS`` (parallel sweep workers, default: all cores but
+one; parallel results are bitwise-identical to serial).
 """
 
 from __future__ import annotations
@@ -23,6 +25,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 # for higher-fidelity regenerations.
 os.environ.setdefault("REPRO_FIG_JOBS", "400")
 os.environ.setdefault("REPRO_FIG_SEEDS", "2")
+os.environ.setdefault(
+    "REPRO_FIG_WORKERS", str(max(1, (os.cpu_count() or 2) - 1))
+)
 
 
 @pytest.fixture(scope="session")

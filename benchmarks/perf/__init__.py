@@ -1,0 +1,1 @@
+"""Perf-trajectory microbenchmarks (see ``bench_core.py``)."""

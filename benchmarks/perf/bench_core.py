@@ -1,0 +1,327 @@
+"""Core perf-trajectory harness: microbenches + serial-vs-parallel sweep.
+
+Times the scheduler's hot kernels (PlacementIndex build, incremental MFP
+queries, shadow-time — both the production engine and the naive
+reference, so the caching win stays visible), the three partition
+finders, and one end-to-end sweep executed serially and in parallel.
+Results land in ``BENCH_core.json`` at the repo root so subsequent PRs
+have a machine-readable perf trajectory to regress against.
+
+Record schema (one object per benchmark)::
+
+    {"bench": str, "wall_s": float, "cells_per_s": float,
+     "workers": int, "git_rev": str}
+
+``cells_per_s`` is operations/second for microbenches and simulation
+cells/second for the sweep benches; ``wall_s`` is the best-of-repeats
+wall time of one measured batch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_core.py [--scale smoke|default]
+                                                        [--out PATH] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:  # direct-script convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.allocation.mfp import PlacementIndex
+from repro.allocation.registry import get_finder
+from repro.core.backfill import ShadowTimeEngine, shadow_time_naive
+from repro.core.jobstate import JobState
+from repro.experiments import parallel as parallel_mod
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.sweep import SweepPoint, run_sweep
+from repro.geometry.coords import BGL_SUPERNODE_DIMS
+from repro.geometry.torus import Torus
+from repro.workloads.job import Job
+
+D = BGL_SUPERNODE_DIMS
+
+#: Head sizes the shadow benches query per pass (mixed cheap/expensive).
+SHADOW_SIZES = (8, 16, 32, 64, 128)
+#: Sizes the finder benches enumerate per pass.
+FINDER_SIZES = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Iteration counts for one harness scale."""
+
+    micro_number: int       # ops per measured batch
+    repeats: int            # batches; best wall time wins
+    sweep_points: int       # points in the end-to-end sweep grid
+    sweep_seeds: int
+    sweep_jobs: int         # jobs per simulation cell
+    master_failures: int    # master failure-log size for the sweep
+
+
+SCALES = {
+    "smoke": Scale(
+        micro_number=30,
+        repeats=2,
+        sweep_points=3,
+        sweep_seeds=1,
+        sweep_jobs=25,
+        master_failures=64,
+    ),
+    "default": Scale(
+        micro_number=200,
+        repeats=3,
+        sweep_points=8,
+        sweep_seeds=2,
+        sweep_jobs=120,
+        master_failures=1024,
+    ),
+}
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall time of ``repeats`` runs of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# fixtures shared by the microbenches
+# ----------------------------------------------------------------------
+
+def loaded_torus(fill: float = 0.5, seed: int = 0) -> Torus:
+    torus = Torus(D)
+    rng = np.random.default_rng(seed)
+    job_id = 0
+    # Allocate real partitions (shadow replay needs the allocation map).
+    from repro.testing.random_state import random_partition
+
+    while torus.free_count > (1.0 - fill) * D.volume:
+        part = random_partition(D, rng)
+        if torus.is_free(part):
+            torus.allocate(job_id, part)
+            job_id += 1
+    return torus
+
+
+def running_states(torus: Torus) -> list[JobState]:
+    states = []
+    for i, (job_id, partition) in enumerate(torus.allocations()):
+        js = JobState(Job(job_id, 0.0, partition.size, 100.0, 100.0))
+        js.dispatch(0.0, 100.0)
+        js.est_finish = 50.0 + 25.0 * i
+        states.append(js)
+    return states
+
+
+# ----------------------------------------------------------------------
+# benchmark bodies
+# ----------------------------------------------------------------------
+
+def bench_placement_index_build(scale: Scale):
+    torus = loaded_torus()
+    n = scale.micro_number * 10
+
+    def run():
+        for _ in range(n):
+            PlacementIndex(torus)
+
+    return run, n
+
+
+def bench_mfp_excluding(scale: Scale):
+    torus = loaded_torus(0.3)
+    index = PlacementIndex(torus)
+    candidates = index.candidates(8)[:16]
+    index.mfp_size()
+    n = scale.micro_number * 10
+
+    def run():
+        for _ in range(n):
+            for p in candidates:
+                index.mfp_excluding(p)
+
+    return run, n * len(candidates)
+
+
+def bench_shadow_time_engine(scale: Scale):
+    torus = loaded_torus()
+    running = running_states(torus)
+    n = scale.micro_number
+
+    def run():
+        # Fresh engine per pass: measures scratch-reuse + the per-pass
+        # cache exactly as one scheduler pass would see them.
+        for _ in range(n):
+            engine = ShadowTimeEngine(torus)
+            for size in SHADOW_SIZES:
+                engine.shadow_time(running, size, 0.0)
+                engine.shadow_time(running, size, 10.0)  # cache hit
+
+    return run, n * 2 * len(SHADOW_SIZES)
+
+
+def bench_shadow_time_naive(scale: Scale):
+    torus = loaded_torus()
+    running = running_states(torus)
+    n = scale.micro_number
+
+    def run():
+        for _ in range(n):
+            for size in SHADOW_SIZES:
+                shadow_time_naive(torus, running, size, 0.0)
+                shadow_time_naive(torus, running, size, 10.0)
+
+    return run, n * 2 * len(SHADOW_SIZES)
+
+
+def _bench_finder(name: str, scale: Scale):
+    torus = loaded_torus(0.4, seed=2)
+    finder = get_finder(name)
+    n = scale.micro_number
+
+    def run():
+        for _ in range(n):
+            for size in FINDER_SIZES:
+                finder.find_free(torus, size)
+
+    return run, n * len(FINDER_SIZES)
+
+
+def _sweep_grid(scale: Scale) -> tuple[list[SweepPoint], tuple[int, ...]]:
+    points = [
+        SweepPoint("sdsc", scale.sweep_jobs, 1.0, 2 * i, "balancing", 0.1)
+        for i in range(scale.sweep_points)
+    ]
+    return points, tuple(range(scale.sweep_seeds))
+
+
+def _clear_sweep_caches() -> None:
+    sweep_mod._result_cache.clear()
+    sweep_mod._workload_cache.clear()
+    sweep_mod._master_log_cache.clear()
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
+    scale = SCALES[scale_name]
+    rev = git_rev()
+    records: list[dict] = []
+
+    def record(bench: str, wall_s: float, ops: int, n_workers: int = 1) -> None:
+        records.append(
+            {
+                "bench": bench,
+                "wall_s": round(wall_s, 6),
+                "cells_per_s": round(ops / wall_s, 3) if wall_s > 0 else None,
+                "workers": n_workers,
+                "git_rev": rev,
+            }
+        )
+        print(
+            f"  {bench:<24} wall={wall_s:9.4f}s  "
+            f"rate={ops / wall_s if wall_s > 0 else float('inf'):12.1f}/s  "
+            f"workers={n_workers}"
+        )
+
+    print(f"bench_core [{scale_name}] rev={rev}")
+    micro = [
+        ("placement_index_build", bench_placement_index_build),
+        ("mfp_excluding", bench_mfp_excluding),
+        ("shadow_time_engine", bench_shadow_time_engine),
+        ("shadow_time_naive", bench_shadow_time_naive),
+        ("finder_naive", lambda s: _bench_finder("naive", s)),
+        ("finder_pop", lambda s: _bench_finder("pop", s)),
+        ("finder_fast", lambda s: _bench_finder("fast", s)),
+    ]
+    for name, factory in micro:
+        run, ops = factory(scale)
+        record(name, best_of(run, scale.repeats), ops)
+
+    # End-to-end sweep, serial then parallel, equivalence-checked.
+    points, seeds = _sweep_grid(scale)
+    n_cells = len(points) * len(seeds)
+    sweep_mod.MASTER_FAILURE_COUNT = scale.master_failures
+    _clear_sweep_caches()
+    start = time.perf_counter()
+    serial = run_sweep(points, seeds, workers=1)
+    record("sweep_serial", time.perf_counter() - start, n_cells)
+
+    parallel_workers = max(2, workers)
+    _clear_sweep_caches()
+    start = time.perf_counter()
+    parallel = run_sweep(points, seeds, workers=parallel_workers)
+    record(
+        "sweep_parallel",
+        time.perf_counter() - start,
+        n_cells,
+        n_workers=parallel_workers,
+    )
+    if serial != parallel:
+        raise AssertionError(
+            "serial and parallel sweeps disagree — equivalence broken"
+        )
+    print("  serial/parallel results identical: ok")
+
+    out_path.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(records)} benchmarks)")
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="output path (default: BENCH_core.json at the repo root)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for the parallel sweep bench (default: cores-1, min 2)",
+    )
+    args = parser.parse_args(argv)
+    workers = (
+        args.workers
+        if args.workers is not None
+        else parallel_mod.default_workers()
+    )
+    run_benchmarks(args.scale, workers, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,15 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("name", help="fig3 .. fig10")
     fig.add_argument("--jobs", type=int, default=None)
     fig.add_argument("--seeds", type=int, default=None, help="number of seeds")
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "parallel sweep workers (default: REPRO_FIG_WORKERS, else "
+            "all cores but one); results are identical to --workers 1"
+        ),
+    )
     fig.add_argument("--chart", action="store_true", help="render an ASCII chart")
 
     sub.add_parser("figures", help="list regenerable figures")
@@ -141,7 +150,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.validate import validate_figure
 
     seeds = tuple(range(args.seeds)) if args.seeds else None
-    result = run_figure(args.name, n_jobs=args.jobs, seeds=seeds)
+    result = run_figure(args.name, n_jobs=args.jobs, seeds=seeds, workers=args.workers)
     print(format_figure(result))
     print()
     print(validate_figure(result).summary())

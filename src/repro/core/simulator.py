@@ -32,7 +32,7 @@ from repro.metrics.capacity import CapacitySummary, CapacityTracker
 from repro.metrics.report import Counters, SimulationReport
 from repro.metrics.timing import JobRecord
 from repro.workloads.job import Workload
-from repro.core.backfill import shadow_time
+from repro.core.backfill import ShadowTimeEngine
 from repro.core.config import BackfillMode, SimulationConfig
 from repro.core.events import EventKind, EventQueue
 from repro.core.jobstate import MIN_ESTIMATE_S, JobState
@@ -87,6 +87,7 @@ class Simulator:
         self._completed = 0
         self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
         self._running_ids: set[int] = set()
+        self._shadow = ShadowTimeEngine(self.torus)
 
         for job in workload.jobs:
             self.events.push(job.arrival, EventKind.ARRIVAL, job.job_id)
@@ -253,7 +254,7 @@ class Simulator:
         job started (the caller rebuilds the index and loops)."""
         if self.config.backfill is BackfillMode.EASY:
             running = [self.states[i] for i in self._running_ids]
-            shadow = shadow_time(self.torus, running, head.size, now)
+            shadow = self._shadow.shadow_time(running, head.size, now)
             if math.isinf(shadow):
                 raise SimulationError(
                     f"job {head.job_id} (size {head.size}) cannot fit even "

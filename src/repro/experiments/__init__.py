@@ -9,6 +9,7 @@ experiment index and EXPERIMENTS.md for paper-vs-measured shapes.
 from __future__ import annotations
 
 from repro.experiments.sweep import SweepPoint, SweepResult, run_point, run_sweep
+from repro.experiments.parallel import SweepExecutor, default_workers
 from repro.experiments.figures import (
     FigureResult,
     figure_registry,
@@ -24,6 +25,8 @@ __all__ = [
     "validate_figure",
     "SweepPoint",
     "SweepResult",
+    "SweepExecutor",
+    "default_workers",
     "run_point",
     "run_sweep",
     "FigureResult",

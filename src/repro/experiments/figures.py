@@ -17,7 +17,10 @@ Knobs
 Figure fidelity scales with ``REPRO_FIG_JOBS`` (jobs per run, default
 500) and ``REPRO_FIG_SEEDS`` (seeds averaged per point, default 2) —
 environment variables so the pytest-benchmark suite stays
-argument-free.
+argument-free.  ``REPRO_FIG_WORKERS`` (default: all cores but one)
+parallelises the sweep cells; every ``figN`` function also takes an
+explicit ``workers`` argument.  Parallel results are bitwise-identical
+to serial ones (see :mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ from typing import Callable, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.errors import ExperimentError
-from repro.experiments.sweep import SweepPoint, SweepResult, run_point
+from repro.experiments.parallel import default_workers
+from repro.experiments.sweep import SweepPoint, SweepResult, run_sweep
 from repro.workloads.models import site_model
 from repro.workloads.scaling import fit_to_machine, scale_load
 from repro.workloads.synthetic import generate_workload
@@ -98,6 +102,30 @@ class FigureResult:
 # shared sweep shapes
 # ----------------------------------------------------------------------
 
+def _assemble_series(
+    result: FigureResult,
+    series_points: list[tuple[str, list[tuple[float, SweepPoint]]]],
+    seeds: tuple[int, ...],
+    workers: int | None,
+) -> FigureResult:
+    """Run every series' points as one flat sweep and slice them back.
+
+    Flattening across series before fanning out maximises parallelism —
+    a figure's whole grid saturates the pool instead of one series at a
+    time.
+    """
+    flat = [p for _, rows in series_points for _, p in rows]
+    workers = workers if workers is not None else default_workers()
+    sweep_results = run_sweep(flat, seeds, workers=workers)
+    cursor = 0
+    for label, rows in series_points:
+        result.series[label] = [
+            (x, sweep_results[cursor + k]) for k, (x, _) in enumerate(rows)
+        ]
+        cursor += len(rows)
+    return result
+
+
 def _failure_rate_sweep(
     figure: str,
     title: str,
@@ -107,25 +135,30 @@ def _failure_rate_sweep(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     policy: str = "balancing",
+    workers: int | None = None,
 ) -> FigureResult:
     n_jobs = n_jobs or default_n_jobs()
     seeds = tuple(seeds or default_seeds())
     result = FigureResult(figure, title, "paper failure count", metric)
+    series_points: list[tuple[str, list[tuple[float, SweepPoint]]]] = []
     for label, a, c in series_spec:
         horizon = _horizon_s(site, n_jobs, c, seed=seeds[0])
-        rows = []
-        for paper_count in PAPER_FAILURE_AXIS:
-            point = SweepPoint(
-                site=site,
-                n_jobs=n_jobs,
-                load_scale=c,
-                n_failures=paper_failures_to_sim(paper_count, horizon),
-                policy=policy,
-                parameter=a,
+        rows = [
+            (
+                float(paper_count),
+                SweepPoint(
+                    site=site,
+                    n_jobs=n_jobs,
+                    load_scale=c,
+                    n_failures=paper_failures_to_sim(paper_count, horizon),
+                    policy=policy,
+                    parameter=a,
+                ),
             )
-            rows.append((float(paper_count), run_point(point, seeds)))
-        result.series[label] = rows
-    return result
+            for paper_count in PAPER_FAILURE_AXIS
+        ]
+        series_points.append((label, rows))
+    return _assemble_series(result, series_points, seeds, workers)
 
 
 def _parameter_sweep(
@@ -137,35 +170,44 @@ def _parameter_sweep(
     loads: Sequence[float],
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
+    workers: int | None = None,
 ) -> FigureResult:
     n_jobs = n_jobs or default_n_jobs()
     seeds = tuple(seeds or default_seeds())
     x_label = "confidence" if policy == "balancing" else "accuracy"
     result = FigureResult(figure, title, x_label, metric)
+    series_points: list[tuple[str, list[tuple[float, SweepPoint]]]] = []
     for site in sites:
         for c in loads:
             horizon = _horizon_s(site, n_jobs, c, seed=seeds[0])
             n_failures = paper_failures_to_sim(PAPER_SITE_FAILURES[site], horizon)
-            rows = []
-            for a in PAPER_PARAMETER_AXIS:
-                point = SweepPoint(
-                    site=site,
-                    n_jobs=n_jobs,
-                    load_scale=c,
-                    n_failures=n_failures,
-                    policy=policy,
-                    parameter=a,
+            rows = [
+                (
+                    a,
+                    SweepPoint(
+                        site=site,
+                        n_jobs=n_jobs,
+                        load_scale=c,
+                        n_failures=n_failures,
+                        policy=policy,
+                        parameter=a,
+                    ),
                 )
-                rows.append((a, run_point(point, seeds)))
-            result.series[f"{site} c={c}"] = rows
-    return result
+                for a in PAPER_PARAMETER_AXIS
+            ]
+            series_points.append((f"{site} c={c}", rows))
+    return _assemble_series(result, series_points, seeds, workers)
 
 
 # ----------------------------------------------------------------------
 # Figures 3-10
 # ----------------------------------------------------------------------
 
-def fig3(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig3(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 3: avg bounded slowdown vs failure rate, SDSC, balancing,
     a in {0 (no prediction), 0.1, 0.9}."""
     return _failure_rate_sweep(
@@ -175,10 +217,15 @@ def fig3(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         "bounded_slowdown",
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig4(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig4(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 4: avg bounded slowdown vs failure rate for loads c=1.0/1.2
     (SDSC, balancing; the paper does not state the confidence — we use
     a=0.1, its headline operating point)."""
@@ -189,10 +236,15 @@ def fig4(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         "bounded_slowdown",
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig5(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig5(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 5: utilization vs failure rate, SDSC, balancing (a=0.1),
     panels c=1.0 and c=1.2."""
     return _failure_rate_sweep(
@@ -202,10 +254,15 @@ def fig5(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         "utilized",
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig6(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig6(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 6: avg bounded slowdown vs confidence, balancing, panels
     SDSC/NASA/LLNL, loads c=1.0 and c=1.2."""
     return _parameter_sweep(
@@ -217,10 +274,15 @@ def fig6(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         loads=(1.0, 1.2),
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig7(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig7(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 7: utilization vs confidence, SDSC, balancing, c=1.0/1.2."""
     return _parameter_sweep(
         "fig7",
@@ -231,10 +293,15 @@ def fig7(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         loads=(1.0, 1.2),
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig8(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig8(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 8: utilization vs confidence, NASA, balancing, c=1.0/1.2."""
     return _parameter_sweep(
         "fig8",
@@ -245,10 +312,15 @@ def fig8(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         loads=(1.0, 1.2),
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig9(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig9(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 9: avg bounded slowdown vs accuracy, tie-breaking, panels
     SDSC/NASA/LLNL, loads c=1.0 and c=1.2."""
     return _parameter_sweep(
@@ -260,10 +332,15 @@ def fig9(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figur
         loads=(1.0, 1.2),
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
-def fig10(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> FigureResult:
+def fig10(
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
     """Fig. 10: utilization vs accuracy, LLNL, tie-breaking, c=1.0/1.2."""
     return _parameter_sweep(
         "fig10",
@@ -274,6 +351,7 @@ def fig10(n_jobs: int | None = None, seeds: Sequence[int] | None = None) -> Figu
         loads=(1.0, 1.2),
         n_jobs=n_jobs,
         seeds=seeds,
+        workers=workers,
     )
 
 
@@ -295,7 +373,10 @@ def figure_registry() -> tuple[str, ...]:
 
 
 def run_figure(
-    name: str, n_jobs: int | None = None, seeds: Sequence[int] | None = None
+    name: str,
+    n_jobs: int | None = None,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
 ) -> FigureResult:
     """Regenerate one figure by name (``fig3`` .. ``fig10``)."""
     try:
@@ -304,4 +385,4 @@ def run_figure(
         raise ExperimentError(
             f"unknown figure {name!r}; available: {', '.join(_FIGURES)}"
         ) from None
-    return fn(n_jobs=n_jobs, seeds=seeds)
+    return fn(n_jobs=n_jobs, seeds=seeds, workers=workers)

@@ -1,0 +1,228 @@
+"""Parallel sweep execution over a process pool.
+
+Every paper figure is a grid of independent ``(SweepPoint, seed)``
+simulation cells; this module fans them out over ``multiprocessing``
+workers and reassembles the per-point averages in order, so
+``run_sweep(points, workers=N)`` returns a result list **bitwise
+identical** to the serial path — each cell is a deterministic function
+of its inputs, and aggregation happens in the parent in the same seed
+order :func:`~repro.experiments.sweep.run_point` uses.
+
+Design notes
+------------
+* Cells are enumerated **seed-major** and chunked contiguously: the
+  expensive per-cell inputs (workload draw, master failure log) depend on
+  the seed but not on the swept parameter, so cells that share a seed
+  land on the same worker and hit its module-level caches
+  (worker-side memoisation — the caches in :mod:`repro.experiments.sweep`
+  persist for the life of each worker process).
+* Workers are forked, so they also inherit any caches the parent has
+  already warmed.
+* Chunking is deterministic (pure function of the cell count and worker
+  count), results are keyed by cell index, and per-point reports are
+  re-ordered to seed order before averaging — arrival order of chunk
+  completions cannot affect the output.
+* A worker that dies (OOM-kill, segfault, ``os._exit``) surfaces as
+  :class:`~repro.errors.ExperimentError` via the executor's broken-pool
+  detection rather than hanging the sweep.
+* Platforms without ``fork`` (Windows, some sandboxes) fall back to
+  in-process execution, as does ``workers <= 1``.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepResult,
+    _result_cache,
+    run_point,
+    simulate_cell,
+)
+from repro.failures.synthetic import BurstFailureModel
+from repro.metrics.report import SimulationReport
+
+logger = logging.getLogger(__name__)
+
+#: Upper bound on chunks per worker: small enough to amortise IPC, large
+#: enough to load-balance uneven cell costs.
+_CHUNKS_PER_WORKER = 4
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Worker count for figure regeneration.
+
+    ``REPRO_FIG_WORKERS`` wins when set; otherwise all cores but one so
+    the parent (and the user's terminal) stay responsive.
+    """
+    env = os.environ.get("REPRO_FIG_WORKERS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_FIG_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _run_cell_chunk(
+    chunk: Sequence[tuple[int, SweepPoint, int, BurstFailureModel]],
+) -> list[tuple[int, SimulationReport]]:
+    """Worker entry point: run a contiguous slice of cells."""
+    return [
+        (cell_id, simulate_cell(point, seed, model))
+        for cell_id, point, seed, model in chunk
+    ]
+
+
+@dataclass
+class SweepExecutor:
+    """Fans sweep cells out over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` resolves via :func:`default_workers`.
+    chunk_size:
+        Cells per task; ``None`` derives a deterministic size from the
+        cell and worker counts.
+    log_interval_s:
+        Minimum seconds between progress/ETA log lines.
+    """
+
+    workers: int | None = None
+    chunk_size: int | None = None
+    log_interval_s: float = 5.0
+
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        seeds: Sequence[int],
+        failure_model: BurstFailureModel | None = None,
+    ) -> list[SweepResult]:
+        """Run every cell of a sweep; order and values match serial."""
+        model = failure_model or BurstFailureModel()
+        seeds = tuple(seeds)
+        if not seeds:
+            raise ExperimentError("cannot run a sweep across zero seeds")
+        n_workers = self.workers if self.workers is not None else default_workers()
+
+        results: list[SweepResult | None] = [None] * len(points)
+        pending: list[int] = []
+        for i, point in enumerate(points):
+            cached = _result_cache.get((point, seeds, model))
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        n_cells = len(pending) * len(seeds)
+        if n_workers <= 1 or n_cells <= 1 or not fork_available():
+            if n_workers > 1 and not fork_available():
+                logger.info(
+                    "platform lacks fork start method; running %d cells "
+                    "in-process",
+                    n_cells,
+                )
+            for i in pending:
+                results[i] = run_point(points[i], seeds, model)
+            return results  # type: ignore[return-value]
+
+        reports = self._execute(points, pending, seeds, model, n_workers)
+        for i in pending:
+            point_reports = [reports[(i, s)] for s in range(len(seeds))]
+            result = SweepResult.from_reports(points[i], point_reports)
+            _result_cache[(points[i], seeds, model)] = result
+            results[i] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        points: Sequence[SweepPoint],
+        pending: Sequence[int],
+        seeds: tuple[int, ...],
+        model: BurstFailureModel,
+        n_workers: int,
+    ) -> dict[tuple[int, int], SimulationReport]:
+        """Run the uncached cells and return ``(point_i, seed_i) -> report``."""
+        # Seed-major enumeration: contiguous chunks share a seed, so a
+        # worker's workload/master-log caches are hit by every cell of
+        # the chunk after the first.
+        cells = [
+            ((i, si), points[i], seeds[si], model)
+            for si in range(len(seeds))
+            for i in pending
+        ]
+        n_cells = len(cells)
+        chunk_size = self.chunk_size or max(
+            1, math.ceil(n_cells / (n_workers * _CHUNKS_PER_WORKER))
+        )
+        chunks = [
+            cells[lo : lo + chunk_size] for lo in range(0, n_cells, chunk_size)
+        ]
+        logger.info(
+            "sweep fan-out: %d cells in %d chunks over %d workers",
+            n_cells,
+            len(chunks),
+            n_workers,
+        )
+        reports: dict[tuple[int, int], SimulationReport] = {}
+        started = time.monotonic()
+        last_log = started
+        ctx = multiprocessing.get_context("fork")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(chunks)), mp_context=ctx
+            ) as pool:
+                futures = {pool.submit(_run_cell_chunk, chunk) for chunk in chunks}
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        for cell_id, report in future.result():
+                            reports[cell_id] = report
+                    now = time.monotonic()
+                    if now - last_log >= self.log_interval_s and reports:
+                        last_log = now
+                        elapsed = now - started
+                        rate = len(reports) / elapsed
+                        remaining = (n_cells - len(reports)) / rate if rate else 0.0
+                        logger.info(
+                            "sweep progress: %d/%d cells (%.2f cells/s, "
+                            "ETA %.0fs)",
+                            len(reports),
+                            n_cells,
+                            rate,
+                            remaining,
+                        )
+        except BrokenProcessPool as exc:
+            raise ExperimentError(
+                "sweep worker process died before finishing its cells "
+                "(killed or crashed); rerun with workers=1 to isolate"
+            ) from exc
+        elapsed = time.monotonic() - started
+        logger.info(
+            "sweep complete: %d cells in %.1fs (%.2f cells/s)",
+            n_cells,
+            elapsed,
+            n_cells / elapsed if elapsed > 0 else float("inf"),
+        )
+        return reports

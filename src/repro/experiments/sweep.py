@@ -67,21 +67,59 @@ class SweepResult:
         if not reports:
             raise ExperimentError("cannot aggregate zero reports")
         n = len(reports)
+        rows = []
+        for r in reports:
+            _check_report_consistency(r)
+            rows.append(
+                (
+                    r.timing.avg_bounded_slowdown,
+                    r.timing.avg_response,
+                    r.timing.avg_wait,
+                    r.capacity.utilized,
+                    r.capacity.unused,
+                    r.capacity.lost,
+                    r.counters.job_kills,
+                    r.counters.failures_hit_jobs,
+                )
+            )
+        # Row columns mirror the metric-field declaration order above.
+        means = [math.fsum(col) / n for col in zip(*rows)]
+        return cls(point, n, *means)
 
-        def mean(get) -> float:
-            return math.fsum(get(r) for r in reports) / n
 
-        return cls(
-            point=point,
-            n_seeds=n,
-            avg_bounded_slowdown=mean(lambda r: r.timing.avg_bounded_slowdown),
-            avg_response=mean(lambda r: r.timing.avg_response),
-            avg_wait=mean(lambda r: r.timing.avg_wait),
-            utilized=mean(lambda r: r.capacity.utilized),
-            unused=mean(lambda r: r.capacity.unused),
-            lost=mean(lambda r: r.capacity.lost),
-            job_kills=mean(lambda r: r.counters.job_kills),
-            failures_hit_jobs=mean(lambda r: r.counters.failures_hit_jobs),
+#: Float-error tolerance on capacity fractions (matches the
+#: ``CapacitySummary.__post_init__`` bound).
+_LOST_EPS = 1e-9
+
+
+def _check_report_consistency(report: SimulationReport) -> None:
+    """Reject reports whose counters contradict their capacity accounting.
+
+    ``lost`` capacity also absorbs fragmentation and scheduling delay, so
+    it may be positive without kills; the invertible direction is the
+    counter one: a run that killed jobs must report the kills coherently
+    (every kill is a failure that hit a job), and a run with zero
+    failures hitting jobs cannot have recorded kills.
+    """
+    counters = report.counters
+    if counters.job_kills != counters.failures_hit_jobs:
+        raise ExperimentError(
+            f"inconsistent report: job_kills={counters.job_kills} != "
+            f"failures_hit_jobs={counters.failures_hit_jobs} "
+            f"(transient failures kill exactly the job they hit)"
+        )
+    if report.capacity.lost < -_LOST_EPS:
+        raise ExperimentError(
+            f"inconsistent report: negative lost capacity "
+            f"{report.capacity.lost}"
+        )
+    if (
+        counters.job_kills > 0
+        and report.n_failures == 0
+    ):
+        raise ExperimentError(
+            f"inconsistent report: {counters.job_kills} job kills recorded "
+            f"against an empty failure log"
         )
 
 
@@ -130,6 +168,29 @@ def _failures_for(
 _result_cache: dict[tuple, SweepResult] = {}
 
 
+def simulate_cell(
+    point: SweepPoint, seed: int, model: BurstFailureModel
+) -> SimulationReport:
+    """Run one ``(point, seed)`` simulation cell.
+
+    The single code path behind both serial :func:`run_point` and the
+    parallel executor's workers — the per-cell inputs (workload draw,
+    master failure log) come from the module-level caches above, which
+    act as worker-side memoisation under ``multiprocessing`` fan-out.
+    """
+    workload = _workload_for(point, seed)
+    failures = _failures_for(point, workload, seed, model)
+    policy = make_policy(
+        point.policy,
+        failure_log=failures,
+        parameter=point.parameter,
+        pf_rule=point.pf_rule,
+        seed=seed + 3,
+    )
+    config = replace(point.config, seed=seed + 4)
+    return simulate(workload, failures, policy, config)
+
+
 def run_point(
     point: SweepPoint,
     seeds: Iterable[int] = (0, 1, 2),
@@ -147,19 +208,7 @@ def run_point(
     cached = _result_cache.get(cache_key)
     if cached is not None:
         return cached
-    reports = []
-    for seed in seeds:
-        workload = _workload_for(point, seed)
-        failures = _failures_for(point, workload, seed, model)
-        policy = make_policy(
-            point.policy,
-            failure_log=failures,
-            parameter=point.parameter,
-            pf_rule=point.pf_rule,
-            seed=seed + 3,
-        )
-        config = replace(point.config, seed=seed + 4)
-        reports.append(simulate(workload, failures, policy, config))
+    reports = [simulate_cell(point, seed, model) for seed in seeds]
     result = SweepResult.from_reports(point, reports)
     _result_cache[cache_key] = result
     return result
@@ -169,7 +218,18 @@ def run_sweep(
     points: Sequence[SweepPoint],
     seeds: Iterable[int] = (0, 1, 2),
     failure_model: BurstFailureModel | None = None,
+    workers: int | None = None,
 ) -> list[SweepResult]:
-    """Run every cell of a sweep."""
+    """Run every cell of a sweep.
+
+    ``workers`` > 1 fans the ``(point, seed)`` cells out over a process
+    pool (see :mod:`repro.experiments.parallel`); results are collected
+    in point order and are bitwise-identical to the serial path.  ``None``
+    or ``1`` runs in-process, as does any platform without ``fork``.
+    """
     seeds = tuple(seeds)
+    if workers is not None and workers > 1 and len(points) > 0:
+        from repro.experiments.parallel import SweepExecutor
+
+        return SweepExecutor(workers=workers).run(points, seeds, failure_model)
     return [run_point(p, seeds, failure_model) for p in points]

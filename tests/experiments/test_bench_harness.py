@@ -1,0 +1,68 @@
+"""Tests for the perf-trajectory harness (``benchmarks/perf/bench_core.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.sweep as sweep_mod
+
+BENCH_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "perf" / "bench_core.py"
+)
+
+REQUIRED_KEYS = {"bench", "wall_s", "cells_per_s", "workers", "git_rev"}
+
+
+@pytest.fixture()
+def bench_core(monkeypatch):
+    """Import the harness as a throwaway module and restore sweep state."""
+    spec = importlib.util.spec_from_file_location("_bench_core_test", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec: the module defines dataclasses, whose string
+    # annotations resolve through sys.modules under PEP 563.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    master = sweep_mod.MASTER_FAILURE_COUNT
+    yield module
+    sys.modules.pop(spec.name, None)
+    # The harness rescales the master failure log and dirties the sweep
+    # caches; undo both so other test modules see pristine state.
+    sweep_mod.MASTER_FAILURE_COUNT = master
+    sweep_mod._result_cache.clear()
+    sweep_mod._workload_cache.clear()
+    sweep_mod._master_log_cache.clear()
+
+
+def test_smoke_scale_produces_trajectory_file(bench_core, tmp_path):
+    out = tmp_path / "BENCH_core.json"
+    records = bench_core.run_benchmarks("smoke", workers=2, out_path=out)
+    assert out.exists()
+    assert json.loads(out.read_text()) == records
+    assert len(records) >= 6
+    names = [r["bench"] for r in records]
+    assert len(names) == len(set(names))
+    # The before/after shadow-time pair must both be present.
+    assert "shadow_time_engine" in names
+    assert "shadow_time_naive" in names
+    assert "sweep_serial" in names and "sweep_parallel" in names
+    for r in records:
+        assert REQUIRED_KEYS <= r.keys()
+        assert r["wall_s"] >= 0.0
+        assert r["workers"] >= 1
+    by_name = {r["bench"]: r for r in records}
+    assert by_name["sweep_parallel"]["workers"] >= 2
+
+
+def test_repo_trajectory_file_is_current(bench_core):
+    """The committed BENCH_core.json must match the harness schema."""
+    committed = BENCH_PATH.parents[2] / "BENCH_core.json"
+    assert committed.exists(), "run benchmarks/perf/bench_core.py to regenerate"
+    records = json.loads(committed.read_text())
+    assert len(records) >= 6
+    for r in records:
+        assert REQUIRED_KEYS <= r.keys()

@@ -1,0 +1,190 @@
+"""Serial/parallel sweep equivalence and worker-failure handling.
+
+The contract under test: ``run_sweep(points, workers=N)`` returns a
+result list *bitwise identical* to ``run_sweep(points, workers=1)`` —
+same ordering, exact float equality — because each ``(point, seed)``
+cell is a deterministic function of its inputs and aggregation happens
+in the parent in serial seed order.
+
+The CI ``bench-smoke`` job treats a skip of this module as a failure, so
+keep the skip conditions honest (fork genuinely unavailable).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.experiments.parallel as parallel_mod
+import repro.experiments.sweep as sweep_mod
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.parallel import SweepExecutor, default_workers, fork_available
+from repro.experiments.sweep import SweepPoint, run_sweep
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+@pytest.fixture(autouse=True)
+def small_master_log(monkeypatch):
+    """Shrink master failure logs and isolate every sweep-level cache.
+
+    The patched ``MASTER_FAILURE_COUNT`` changes what ``_failures_for``
+    generates, and the master-log cache is not keyed on the count, so
+    both caches must be emptied on entry *and* exit to keep other test
+    modules honest.  Forked workers inherit the patched constant.
+    """
+    monkeypatch.setattr(sweep_mod, "MASTER_FAILURE_COUNT", 64)
+    sweep_mod._result_cache.clear()
+    sweep_mod._master_log_cache.clear()
+    yield
+    sweep_mod._result_cache.clear()
+    sweep_mod._master_log_cache.clear()
+
+
+def _failure_axis_grid() -> tuple[list[SweepPoint], tuple[int, ...]]:
+    points = [
+        SweepPoint("nasa", 25, 1.0, f, "balancing", 0.3) for f in (0, 2, 5)
+    ]
+    return points, (0, 1)
+
+
+def _parameter_axis_grid() -> tuple[list[SweepPoint], tuple[int, ...]]:
+    points = [
+        SweepPoint("sdsc", 20, 1.0, 3, "tiebreak", a) for a in (0.0, 0.5, 1.0)
+    ]
+    return points, (0,)
+
+
+def _mixed_grid() -> tuple[list[SweepPoint], tuple[int, ...]]:
+    points = [
+        SweepPoint("nasa", 20, 1.0, 2, "krevat", 0.0),
+        SweepPoint("llnl", 20, 1.2, 4, "balancing", 0.7),
+        SweepPoint("nasa", 25, 1.0, 0, "tiebreak", 0.2),
+        SweepPoint("llnl", 20, 1.0, 2, "krevat", 0.0),
+    ]
+    return points, (0, 1)
+
+
+GRIDS = {
+    "failure-axis": _failure_axis_grid,
+    "parameter-axis": _parameter_axis_grid,
+    "mixed-sites-policies": _mixed_grid,
+}
+
+
+@needs_fork
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("grid", sorted(GRIDS))
+    def test_bitwise_identical_results(self, grid):
+        points, seeds = GRIDS[grid]()
+        # Parallel first, against cold caches, so it cannot piggyback on
+        # serially computed results.
+        parallel = run_sweep(points, seeds, workers=4)
+        sweep_mod._result_cache.clear()
+        serial = run_sweep(points, seeds, workers=1)
+        assert len(parallel) == len(serial) == len(points)
+        for i, (p, s) in enumerate(zip(parallel, serial)):
+            assert p.point == points[i]  # ordering preserved
+            # Frozen-dataclass equality covers every metric field with
+            # exact float comparison (no tolerance).
+            assert p == s
+
+    def test_partial_cache_reuse_matches_serial(self):
+        """A parallel sweep over a half-cached grid must slot cached and
+        fresh results into the right positions."""
+        points, seeds = _failure_axis_grid()
+        serial = run_sweep(points, seeds, workers=1)
+        # Keep only the middle point cached; the executor must compute
+        # the other two and preserve order.
+        model_key = (points[1], seeds, sweep_mod.BurstFailureModel())
+        keep = sweep_mod._result_cache[model_key]
+        sweep_mod._result_cache.clear()
+        sweep_mod._result_cache[model_key] = keep
+        parallel = run_sweep(points, seeds, workers=2)
+        assert parallel == serial
+        assert parallel[1] is keep
+
+
+@needs_fork
+class TestWorkerFailure:
+    def test_worker_crash_surfaces_as_experiment_error(self, monkeypatch):
+        """A worker that dies mid-cell must raise, not hang the sweep."""
+        monkeypatch.setattr(
+            parallel_mod, "simulate_cell", lambda *a: os._exit(13)
+        )
+        points, seeds = _parameter_axis_grid()
+        with pytest.raises(ExperimentError, match="worker process died"):
+            SweepExecutor(workers=2).run(points, seeds)
+
+    def test_worker_exception_propagates_type(self):
+        """Ordinary worker exceptions keep their ReproError type.
+
+        Two points and two seeds force the pooled path (a single cell
+        would take the in-process shortcut).
+        """
+        bad = [
+            SweepPoint("no-such-site", 10, 1.0, 0, "krevat", 0.0),
+            SweepPoint("no-such-site", 12, 1.0, 0, "krevat", 0.0),
+        ]
+        with pytest.raises(ReproError):
+            run_sweep(bad, (0, 1), workers=2)
+
+
+class TestFallbacksAndGuards:
+    def test_no_fork_falls_back_in_process(self, monkeypatch):
+        points, seeds = _parameter_axis_grid()
+        serial = run_sweep(points, seeds, workers=1)
+        sweep_mod._result_cache.clear()
+        monkeypatch.setattr(parallel_mod, "fork_available", lambda: False)
+        fallback = SweepExecutor(workers=4).run(points, seeds)
+        assert fallback == serial
+
+    def test_workers_none_and_one_are_serial(self):
+        points, seeds = _parameter_axis_grid()
+        a = run_sweep(points, seeds)
+        b = run_sweep(points, seeds, workers=1)
+        assert a == b
+
+    def test_zero_seeds_rejected(self):
+        points, _ = _parameter_axis_grid()
+        with pytest.raises(ExperimentError):
+            SweepExecutor(workers=2).run(points, ())
+
+    def test_empty_point_list(self):
+        assert run_sweep([], (0,), workers=4) == []
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIG_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_FIG_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_FIG_WORKERS", "many")
+        with pytest.raises(ExperimentError):
+            default_workers()
+
+    def test_default_workers_leaves_a_core_free(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIG_WORKERS", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert default_workers() == 7
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert default_workers() == 1
+
+
+@needs_fork
+class TestFigureParallelism:
+    def test_figure_workers_identical(self, monkeypatch):
+        """A scaled-down figure regeneration matches serially."""
+        monkeypatch.setenv("REPRO_FIG_JOBS", "20")
+        monkeypatch.setenv("REPRO_FIG_SEEDS", "1")
+        import repro.experiments.figures as figures
+
+        monkeypatch.setattr(figures, "PAPER_FAILURE_AXIS", (0, 2000))
+        parallel = figures.fig4(workers=2)
+        sweep_mod._result_cache.clear()
+        serial = figures.fig4(workers=1)
+        assert parallel.series.keys() == serial.series.keys()
+        for label in serial.series:
+            assert parallel.series[label] == serial.series[label]

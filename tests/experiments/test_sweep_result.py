@@ -1,0 +1,77 @@
+"""Tests for ``SweepResult`` aggregation and report-consistency guards."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.api import quick_simulate
+from repro.errors import ExperimentError
+from repro.experiments.sweep import SweepPoint, SweepResult
+from repro.metrics.report import Counters
+
+POINT = SweepPoint("nasa", 10, 1.0, 0, "krevat", 0.0)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Two genuine single-run reports to aggregate."""
+    return [
+        quick_simulate(
+            site="nasa", n_jobs=15, n_failures=2, policy="balancing", seed=seed
+        )
+        for seed in (0, 1)
+    ]
+
+
+class TestAggregation:
+    def test_zero_reports_guarded(self):
+        """Aggregating an empty report list must raise, never divide by
+        zero or return a bogus n_seeds=0 result."""
+        with pytest.raises(ExperimentError, match="zero reports"):
+            SweepResult.from_reports(POINT, [])
+
+    def test_means_are_fsum_exact(self, reports):
+        result = SweepResult.from_reports(POINT, reports)
+        assert result.n_seeds == 2
+        assert result.avg_wait == math.fsum(
+            r.timing.avg_wait for r in reports
+        ) / 2
+        assert result.utilized == math.fsum(
+            r.capacity.utilized for r in reports
+        ) / 2
+        assert result.job_kills == math.fsum(
+            r.counters.job_kills for r in reports
+        ) / 2
+
+    def test_single_report_identity(self, reports):
+        result = SweepResult.from_reports(POINT, reports[:1])
+        assert result.n_seeds == 1
+        assert result.avg_bounded_slowdown == reports[0].timing.avg_bounded_slowdown
+        assert result.lost == reports[0].capacity.lost
+
+
+class TestConsistencyGuards:
+    def test_kills_must_match_failures_hit(self, reports):
+        bad = replace(
+            reports[0],
+            counters=Counters(job_kills=3, failures_hit_jobs=1),
+        )
+        with pytest.raises(ExperimentError, match="job_kills"):
+            SweepResult.from_reports(POINT, [bad])
+
+    def test_kills_require_failure_events(self, reports):
+        bad = replace(
+            reports[0],
+            n_failures=0,
+            counters=Counters(
+                job_kills=2, failures_hit_jobs=2, failures_total=0
+            ),
+        )
+        with pytest.raises(ExperimentError, match="empty failure log"):
+            SweepResult.from_reports(POINT, [bad])
+
+    def test_genuine_reports_pass(self, reports):
+        assert SweepResult.from_reports(POINT, reports).n_seeds == 2
