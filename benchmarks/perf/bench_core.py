@@ -215,6 +215,54 @@ def _bench_finder(name: str, scale: Scale):
     return run, n * len(FINDER_SIZES)
 
 
+#: Fixed workload for the tracing-cost benches — deliberately NOT scale
+#: dependent, so ``sim_trace_off / placement_index_build`` is a
+#: dimensionless ratio comparable across scales and (to first order)
+#: machines; ``check_trace_overhead.py`` gates on it.
+TRACE_BENCH_JOBS = 100
+TRACE_BENCH_FAILURES = 24
+
+
+def bench_sim_trace(scale: Scale, trace: bool):
+    """End-to-end single simulation with tracing on or off.
+
+    The off/on pair quantifies the observability subsystem's cost: the
+    ``off`` variant is the production path (null recorder, no metrics)
+    and must track the pre-instrumentation throughput;
+    ``check_trace_overhead.py`` gates on it.  Workload/failures are
+    pre-built so only the engine is timed.
+    """
+    from repro.api import SimulationSetup
+    from repro.core.config import SimulationConfig
+    from repro.core.policies.registry import make_policy
+    from repro.core.simulator import Simulator
+
+    config = SimulationConfig(trace=trace)
+    setup = SimulationSetup(
+        site="sdsc",
+        n_jobs=TRACE_BENCH_JOBS,
+        n_failures=TRACE_BENCH_FAILURES,
+        policy="balancing",
+        parameter=0.1,
+        seed=0,
+        config=config,
+    )
+    workload = setup.build_workload()
+    failures = setup.build_failures(workload)
+
+    def run():
+        policy = make_policy(
+            "balancing",
+            failure_log=failures,
+            parameter=0.1,
+            pf_rule=setup.pf_rule,
+            seed=setup.seed + 2,
+        )
+        Simulator(workload, failures, policy, config).run()
+
+    return run, 1
+
+
 def _sweep_grid(scale: Scale) -> tuple[list[SweepPoint], tuple[int, ...]]:
     points = [
         SweepPoint("sdsc", scale.sweep_jobs, 1.0, 2 * i, "balancing", 0.1)
@@ -267,6 +315,15 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
     for name, factory in micro:
         run, ops = factory(scale)
         record(name, best_of(run, scale.repeats), ops)
+
+    # Observability cost: one full simulation, tracing off vs on.
+    for trace in (False, True):
+        run, ops = bench_sim_trace(scale, trace)
+        record(
+            "sim_trace_on" if trace else "sim_trace_off",
+            best_of(run, scale.repeats),
+            ops,
+        )
 
     # End-to-end sweep, serial then parallel, equivalence-checked.
     points, seeds = _sweep_grid(scale)

@@ -1,0 +1,117 @@
+"""Gate the cost of disabled tracing against the recorded baseline.
+
+The observability subsystem must be free when off: ``sim_trace_off``
+exercises the full simulator with the null recorder and no metrics
+registry, exactly as production sweeps run.  This script compares a
+fresh ``bench_core`` result file against the committed
+``BENCH_core.json`` and fails when the trace-off path regressed by more
+than the tolerance (default 3%).
+
+Raw wall-clock rates are not comparable across machines or harness
+scales, so the comparison is *normalized*: within each result file the
+``sim_trace_off`` rate is divided by the same file's
+``placement_index_build`` rate.  Both benches do a fixed amount of work
+per operation regardless of ``--scale`` (see ``TRACE_BENCH_JOBS`` in
+``bench_core.py``), so the ratio cancels machine speed and harness
+scale to first order.  Pass ``--absolute`` when both files come from
+the same machine at the same scale.
+
+Usage::
+
+    python benchmarks/perf/check_trace_overhead.py \
+        --fresh BENCH_ci.json [--baseline BENCH_core.json] [--tolerance 0.03]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Benchmark whose throughput is gated.
+TARGET_BENCH = "sim_trace_off"
+#: Within-file normalizer cancelling machine speed and harness scale
+#: (fixed work per op at every scale, like the target bench).
+REFERENCE_BENCH = "placement_index_build"
+
+
+def load_rates(path: Path) -> dict[str, float]:
+    """Map bench name -> cells_per_s from one bench_core result file."""
+    try:
+        records = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: bench result file not found: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+    rates: dict[str, float] = {}
+    for record in records:
+        rate = record.get("cells_per_s")
+        if isinstance(rate, (int, float)) and rate > 0:
+            rates[record["bench"]] = float(rate)
+    return rates
+
+
+def score(rates: dict[str, float], path: Path, absolute: bool) -> float:
+    """The gated quantity: raw or reference-normalized trace-off rate."""
+    if TARGET_BENCH not in rates:
+        sys.exit(
+            f"error: {path} has no {TARGET_BENCH!r} benchmark — "
+            f"regenerate it with a bench_core that measures tracing cost"
+        )
+    if absolute:
+        return rates[TARGET_BENCH]
+    if REFERENCE_BENCH not in rates:
+        sys.exit(f"error: {path} has no {REFERENCE_BENCH!r} benchmark")
+    return rates[TARGET_BENCH] / rates[REFERENCE_BENCH]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="bench_core output from the run under test",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="recorded baseline (default: committed BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.03,
+        help="maximum allowed relative regression (default 0.03 = 3%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw rates (same machine, same scale only)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = score(load_rates(args.fresh), args.fresh, args.absolute)
+    base = score(load_rates(args.baseline), args.baseline, args.absolute)
+    regression = (base - fresh) / base
+    mode = "absolute" if args.absolute else f"normalized by {REFERENCE_BENCH}"
+    print(f"trace-off throughput ({mode}):")
+    print(f"  baseline {args.baseline}: {base:.6g}")
+    print(f"  fresh    {args.fresh}: {fresh:.6g}")
+    print(f"  regression: {regression * 100:+.2f}% (tolerance {args.tolerance * 100:.1f}%)")
+    if regression > args.tolerance:
+        print(
+            f"FAIL: disabled-tracing path is {regression * 100:.2f}% slower "
+            f"than the recorded baseline"
+        )
+        return 1
+    print("OK: disabled-tracing overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.geometry.torus import (
     window_sums_from_integral,
     wrap_pad_integral,
 )
+from repro.obs import metrics as obs_metrics
 
 
 class PlacementIndex:
@@ -65,6 +66,9 @@ class PlacementIndex:
         self._mfp_size: int | None = None
         self._candidate_cache: dict[int, list[Partition]] = {}
         self._scored_cache: dict[int, list[tuple[Partition, int]]] = {}
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.counter("index.builds").inc()
 
     # ------------------------------------------------------------------
     def _placements(self, shape: Coord) -> np.ndarray:

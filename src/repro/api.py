@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.core.config import SimulationConfig
 from repro.core.policies.registry import make_policy
-from repro.core.simulator import simulate
+from repro.core.simulator import Simulator, simulate
 from repro.failures.events import FailureLog
 from repro.failures.synthetic import BurstFailureModel, generate_failures
 from repro.geometry.coords import BGL_SUPERNODE_DIMS
@@ -64,8 +64,14 @@ class SimulationSetup:
             seed=self.seed + 1,  # decorrelated from the workload draw
         )
 
-    def run(self) -> SimulationReport:
-        """Execute this experiment point."""
+    def build_simulator(self, recorder=None) -> Simulator:
+        """Assemble the full pipeline into a ready-to-run simulator.
+
+        Exposed so callers that need the engine's observability surfaces
+        (``Simulator.recorder``, ``Simulator.metrics``) — the traced CLI
+        run, the obs test suites — share the exact seeding conventions
+        of :meth:`run`.
+        """
         workload = self.build_workload()
         failures = self.build_failures(workload)
         policy = make_policy(
@@ -75,7 +81,13 @@ class SimulationSetup:
             pf_rule=self.pf_rule,
             seed=self.seed + 2,
         )
-        report = simulate(workload, failures, policy, self.config)
+        return Simulator(
+            workload, failures, policy, self.config, recorder=recorder
+        )
+
+    def run(self) -> SimulationReport:
+        """Execute this experiment point."""
+        report = self.build_simulator().run()
         report.parameters.update(
             site=self.site,
             n_jobs=self.n_jobs,

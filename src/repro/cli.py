@@ -7,6 +7,7 @@
     bgl-sim figures            # list regenerable figures
     bgl-sim sites              # list workload site models
     bgl-sim swf PATH ...       # simulate a real SWF trace file
+    bgl-sim trace   summarize|diff|validate PATH...
 
 (`python -m repro` is equivalent.)
 """
@@ -20,6 +21,21 @@ from typing import Sequence
 from repro._version import __version__
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for counts that must be >= 1 (e.g. ``--workers``)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (>= 1), got {parsed}"
+        )
+    return parsed
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bgl-sim",
@@ -29,6 +45,13 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one simulation point")
@@ -51,6 +74,17 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print slowdown/wait distributions and per-size breakdown",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record every scheduler decision to an NDJSON trace file",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print internal counters/timings for the run",
+    )
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name", help="fig3 .. fig10")
@@ -58,7 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seeds", type=int, default=None, help="number of seeds")
     fig.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help=(
             "parallel sweep workers (default: REPRO_FIG_WORKERS, else "
@@ -99,21 +133,62 @@ def _build_parser() -> argparse.ArgumentParser:
     swf.add_argument("--policy", default="balancing")
     swf.add_argument("--parameter", type=float, default=0.1)
     swf.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser(
+        "trace", help="inspect NDJSON decision traces (from `run --trace`)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summ = trace_sub.add_parser("summarize", help="per-kind record counts and span")
+    summ.add_argument("path", help="trace file")
+    diff = trace_sub.add_parser(
+        "diff", help="locate the first divergent decision between two traces"
+    )
+    diff.add_argument("path_a", help="first trace file")
+    diff.add_argument("path_b", help="second trace file")
+    val = trace_sub.add_parser(
+        "validate", help="check schema, seq density and time monotonicity"
+    )
+    val.add_argument("path", help="trace file")
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.api import quick_simulate
+    if args.trace or args.metrics:
+        from repro.api import SimulationSetup
+        from repro.core.config import SimulationConfig
 
-    report = quick_simulate(
-        site=args.site,
-        n_jobs=args.jobs,
-        n_failures=args.failures,
-        policy=args.policy,
-        confidence=args.parameter,
-        load_scale=args.load,
-        seed=args.seed,
-    )
+        setup = SimulationSetup(
+            site=args.site,
+            n_jobs=args.jobs,
+            n_failures=args.failures,
+            policy=args.policy,
+            parameter=args.parameter,
+            load_scale=args.load,
+            seed=args.seed,
+            config=SimulationConfig(
+                trace=bool(args.trace), profile=args.metrics
+            ),
+        )
+        simulator = setup.build_simulator()
+        report = simulator.run()
+        if args.trace:
+            simulator.recorder.write(args.trace)
+            print(f"trace: {len(simulator.recorder)} records -> {args.trace}")
+        if args.metrics and simulator.metrics is not None:
+            for line in simulator.metrics.summary_lines():
+                print(f"  {line}")
+    else:
+        from repro.api import quick_simulate
+
+        report = quick_simulate(
+            site=args.site,
+            n_jobs=args.jobs,
+            n_failures=args.failures,
+            policy=args.policy,
+            confidence=args.parameter,
+            load_scale=args.load,
+            seed=args.seed,
+        )
     print(report.summary_line())
     t, c = report.timing, report.capacity
     print(
@@ -261,9 +336,54 @@ def _cmd_swf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tools import (
+        diff_traces,
+        format_summary,
+        headers_differ,
+        summarize_trace,
+        validate_trace,
+    )
+    from repro.obs.trace import read_trace
+
+    if args.trace_command == "summarize":
+        print(format_summary(summarize_trace(read_trace(args.path))))
+        return 0
+    if args.trace_command == "validate":
+        errors = validate_trace(read_trace(args.path))
+        if errors:
+            for error in errors:
+                print(f"{args.path}: {error}")
+            return 1
+        print(f"{args.path}: OK")
+        return 0
+    if args.trace_command == "diff":
+        trace_a = read_trace(args.path_a)
+        trace_b = read_trace(args.path_b)
+        header_delta = headers_differ(trace_a, trace_b)
+        if header_delta:
+            print(f"headers differ in: {', '.join(header_delta)}")
+        divergence = diff_traces(trace_a, trace_b)
+        if divergence is None:
+            print(
+                f"identical decision streams "
+                f"({sum(1 for r in trace_a if r.get('kind') != 'header')} records)"
+            )
+            return 1 if header_delta else 0
+        print(divergence.describe())
+        return 1
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.obs.log import configure_logging
+
+        configure_logging(args.verbose)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "figure":
@@ -278,6 +398,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_characterize(args)
     if args.command == "swf":
         return _cmd_swf(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

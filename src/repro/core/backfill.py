@@ -35,6 +35,7 @@ import numpy as np
 from repro.allocation.mfp import PlacementIndex
 from repro.core.jobstate import JobState
 from repro.geometry.shapes import shapes_for_size
+from repro.obs import metrics as obs_metrics
 from repro.geometry.torus import (
     FREE,
     Torus,
@@ -104,8 +105,17 @@ class ShadowTimeEngine:
             self._fit_times.clear()
             self._cache_version = version
         t_fit = self._fit_times.get(head_size)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.counter("shadow.queries").inc()
+            if t_fit is not None:
+                registry.counter("shadow.cache_hits").inc()
         if t_fit is None:
-            t_fit = self._first_fit_time(running, head_size)
+            if registry is None:
+                t_fit = self._first_fit_time(running, head_size)
+            else:
+                with registry.timer("shadow.first_fit"):
+                    t_fit = self._first_fit_time(running, head_size)
             self._fit_times[head_size] = t_fit
         return max(now, t_fit)
 

@@ -60,6 +60,17 @@ class SimulationConfig:
     #: than ``strict_invariants``; default off, on throughout the test
     #: suite.
     check_invariants: bool = False
+    #: Emit one :mod:`repro.obs` decision-trace record per scheduler
+    #: decision (arrival, candidate enumeration, dispatch, backfill,
+    #: migration, failure, checkpoint).  Strictly observational — the
+    #: report is bit-for-bit identical with the flag on or off — and
+    #: zero-cost when off (decisions route through a no-op recorder).
+    #: Implies ``profile``.
+    trace: bool = False
+    #: Collect a :class:`repro.obs.metrics.MetricsRegistry` of counters,
+    #: histograms and hot-path timers for the run (available as
+    #: ``Simulator.metrics``).  Observational, like ``trace``.
+    profile: bool = False
     #: Hard cap on processed events, guarding against livelock bugs.
     max_events: int = 50_000_000
 

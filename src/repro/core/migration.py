@@ -30,6 +30,21 @@ class CompactionPlan:
     placements: tuple[tuple[int, Partition], ...]
     moved_job_ids: tuple[int, ...]
 
+    def summary(self) -> dict:
+        """JSON-serialisable digest for the decision trace."""
+        return {
+            "moved_jobs": [int(j) for j in self.moved_job_ids],
+            "n_placements": len(self.placements),
+            "placements": [
+                {
+                    "job": int(job_id),
+                    "base": [int(x) for x in part.base],
+                    "shape": [int(x) for x in part.shape],
+                }
+                for job_id, part in self.placements
+            ],
+        }
+
 
 def plan_compaction(
     torus: Torus, running: list[JobState], head: JobState

@@ -41,16 +41,31 @@ class BalancingPolicy(SchedulingPolicy):
     ) -> Partition | None:
         scored, _ = self.min_loss_candidates(index, state.size)
         if not scored:
+            if self.recorder.enabled:
+                self.trace_decision(state, now, [], 0, None)
             return None
         window_end = now + max(state.remaining_estimate, 1.0)
         best: Partition | None = None
         best_key: tuple[float, float] | None = None
+        considered: list[dict] | None = [] if self.recorder.enabled else None
         for partition, mfp_loss in scored:
             p_f = self.predictor.partition_failure_probability(
                 partition, index.dims, now, window_end
             )
             e_loss = mfp_loss + p_f * state.size
+            if considered is not None:
+                considered.append(
+                    self.describe_candidate(
+                        partition,
+                        l_mfp=int(mfp_loss),
+                        p_f=p_f,
+                        l_pf=p_f * state.size,
+                        e_loss=e_loss,
+                    )
+                )
             key = (e_loss, p_f)
             if best_key is None or key < best_key:
                 best, best_key = partition, key
+        if considered is not None:
+            self.trace_decision(state, now, considered, len(scored), best)
         return best

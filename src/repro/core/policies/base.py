@@ -13,6 +13,12 @@ import abc
 from repro.allocation.mfp import PlacementIndex
 from repro.core.jobstate import JobState
 from repro.geometry.partition import Partition
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import NULL_RECORDER
+
+#: Per-decision cap on candidates detailed in one trace record; the
+#: record's ``n_candidates`` always carries the uncapped count.
+MAX_TRACED_CANDIDATES = 64
 
 
 class SchedulingPolicy(abc.ABC):
@@ -20,6 +26,12 @@ class SchedulingPolicy(abc.ABC):
 
     #: Registry/CLI name.
     name: str = "abstract"
+
+    #: Decision-trace recorder; the simulator swaps in its own when
+    #: tracing is enabled.  Policies emit one ``candidates`` record per
+    #: placement decision with the scoring inputs of every considered
+    #: partition.
+    recorder = NULL_RECORDER
 
     def begin_pass(self, now: float) -> None:
         """Hook invoked once per scheduler pass (reset per-pass caches)."""
@@ -44,6 +56,47 @@ class SchedulingPolicy(abc.ABC):
         list.
         """
         scored = index.scored_candidates(size)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.histogram("policy.candidate_set_size").observe(len(scored))
         if not scored:
             return [], 0
         return scored, min(loss for _, loss in scored)
+
+    # ------------------------------------------------------------------
+    def trace_decision(
+        self,
+        state: JobState,
+        now: float,
+        considered: list[dict],
+        n_candidates: int,
+        chosen: Partition | None,
+    ) -> None:
+        """Emit one ``candidates`` decision record (tracing only)."""
+        self.recorder.emit(
+            "candidates",
+            now,
+            job=state.job_id,
+            size=state.size,
+            policy=self.name,
+            n_candidates=n_candidates,
+            considered=considered[:MAX_TRACED_CANDIDATES],
+            truncated=len(considered) > MAX_TRACED_CANDIDATES,
+            chosen=(
+                None
+                if chosen is None
+                else {
+                    "base": [int(x) for x in chosen.base],
+                    "shape": [int(x) for x in chosen.shape],
+                }
+            ),
+        )
+
+    @staticmethod
+    def describe_candidate(partition: Partition, **scores) -> dict:
+        """One considered-candidate entry for :meth:`trace_decision`."""
+        return {
+            "base": [int(x) for x in partition.base],
+            "shape": [int(x) for x in partition.shape],
+            **scores,
+        }

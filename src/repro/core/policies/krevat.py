@@ -25,8 +25,18 @@ class KrevatPolicy(SchedulingPolicy):
     ) -> Partition | None:
         scored, min_loss = self.min_loss_candidates(index, state.size)
         if not scored:
+            if self.recorder.enabled:
+                self.trace_decision(state, now, [], 0, None)
             return None
+        chosen: Partition | None = None
         for partition, loss in scored:
             if loss == min_loss:
-                return partition
-        return None  # pragma: no cover - min always present
+                chosen = partition
+                break
+        if self.recorder.enabled:
+            considered = [
+                self.describe_candidate(partition, l_mfp=int(loss))
+                for partition, loss in scored
+            ]
+            self.trace_decision(state, now, considered, len(scored), chosen)
+        return chosen

@@ -37,16 +37,32 @@ class TieBreakPolicy(SchedulingPolicy):
     ) -> Partition | None:
         scored, min_loss = self.min_loss_candidates(index, state.size)
         if not scored:
+            if self.recorder.enabled:
+                self.trace_decision(state, now, [], 0, None)
             return None
         window_end = now + max(state.remaining_estimate, 1.0)
         fallback: Partition | None = None
+        considered: list[dict] | None = [] if self.recorder.enabled else None
+        chosen: Partition | None = None
         for partition, loss in scored:
             if loss != min_loss:
                 continue
             if fallback is None:
                 fallback = partition
-            if not self.predictor.predicts_failure(
+            predicted = self.predictor.predicts_failure(
                 partition, index.dims, now, window_end
-            ):
-                return partition
-        return fallback
+            )
+            if considered is not None:
+                considered.append(
+                    self.describe_candidate(
+                        partition, l_mfp=int(loss), predicted_failure=predicted
+                    )
+                )
+            if not predicted:
+                chosen = partition
+                break
+        if chosen is None:
+            chosen = fallback
+        if considered is not None:
+            self.trace_decision(state, now, considered, len(scored), chosen)
+        return chosen

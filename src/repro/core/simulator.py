@@ -31,6 +31,10 @@ from repro.geometry.torus import Torus
 from repro.metrics.capacity import CapacitySummary, CapacityTracker
 from repro.metrics.report import Counters, SimulationReport
 from repro.metrics.timing import JobRecord
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.workloads.job import Workload
 from repro.core.backfill import ShadowTimeEngine
 from repro.core.config import BackfillMode, SimulationConfig
@@ -46,6 +50,8 @@ if TYPE_CHECKING:  # deferred: repro.testing imports repro.core.events
 #: Tolerance when comparing estimated finishes against the shadow time.
 _SHADOW_EPS = 1e-9
 
+logger = get_logger(__name__)
+
 
 class Simulator:
     """One simulation run: workload × failure log × policy × config."""
@@ -56,6 +62,7 @@ class Simulator:
         failure_log: FailureLog,
         policy: SchedulingPolicy,
         config: SimulationConfig | None = None,
+        recorder: TraceRecorder | NullRecorder | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
         dims = self.config.dims
@@ -84,6 +91,19 @@ class Simulator:
             from repro.testing.harness import SimulationOracleHarness
 
             self.oracles = SimulationOracleHarness(dims.volume)
+        if recorder is not None:
+            self.recorder = recorder
+        elif self.config.trace:
+            self.recorder = TraceRecorder()
+        else:
+            self.recorder = NULL_RECORDER
+        # Policies emit their own candidate-enumeration records.
+        self.policy.recorder = self.recorder
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry()
+            if (self.config.profile or self.config.trace or self.recorder.enabled)
+            else None
+        )
         self._completed = 0
         self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
         self._running_ids: set[int] = set()
@@ -112,6 +132,30 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Run to completion and return the report."""
+        if self.recorder.enabled:
+            dims = self.config.dims
+            self.recorder.header(
+                policy=self.policy.name,
+                workload=self.workload.name,
+                dims=[dims.x, dims.y, dims.z],
+                seed=self.config.seed,
+                n_jobs=len(self.workload),
+                n_failures=len(self.failure_log),
+                backfill=self.config.backfill.value,
+                migration=self.config.migration,
+            )
+        if self.metrics is None:
+            return self._run()
+        logger.debug(
+            "instrumented run: %s on %s (%d jobs, %d failures)",
+            self.policy.name, self.workload.name,
+            len(self.workload), len(self.failure_log),
+        )
+        with obs_metrics.activate(self.metrics):
+            with self.metrics.timer("sim.run"):
+                return self._run()
+
+    def _run(self) -> SimulationReport:
         n_jobs = len(self.workload)
         if n_jobs == 0:
             return self._report(end_time=self._min_arrival)
@@ -165,12 +209,18 @@ class Simulator:
     # event handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, job_id: int, now: float) -> None:
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "arrival", now, job=job_id, size=self.states[job_id].size
+            )
         self.wait.push(self.states[job_id])
 
     def _on_finish(self, job_id: int, epoch: int, now: float) -> None:
         state = self.states[job_id]
         if state.epoch != epoch or not state.running:
             return  # stale FINISH from an execution a failure destroyed
+        if self.recorder.enabled:
+            self.recorder.emit("finish", now, job=job_id)
         self.torus.release(job_id)
         self._running_ids.discard(job_id)
         state.complete(now)
@@ -180,17 +230,26 @@ class Simulator:
     def _on_failure(self, node: int, now: float) -> None:
         self.counters.failures_total += 1
         owner = self.torus.owner_by_index(node)
+        if self.recorder.enabled:
+            self.recorder.emit("failure", now, node=node, killed_job=owner)
         if owner is None:
             self.counters.failures_idle += 1
             return
         self.counters.failures_hit_jobs += 1
         self.counters.job_kills += 1
+        if self.metrics is not None:
+            self.metrics.counter("sim.job_kills").inc()
         state = self.states[owner]
         new_saved = self.checkpoint.progress_at_kill(
             state.saved_progress, now - state.start_time, state.job.runtime, self.rng
         )
         if new_saved > state.saved_progress + 1e-12:
             self.counters.checkpoint_restores += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "checkpoint", now, job=owner,
+                    saved_before=state.saved_progress, saved_after=new_saved,
+                )
         self.torus.release(owner)
         self._running_ids.discard(owner)
         state.kill(now, new_saved)
@@ -201,6 +260,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule_pass(self, now: float) -> None:
         self.counters.scheduler_passes += 1
+        if self.metrics is not None:
+            self.metrics.counter("sim.scheduler_passes").inc()
         self.policy.begin_pass(now)
         while self.wait:
             index = PlacementIndex(self.torus)
@@ -226,6 +287,12 @@ class Simulator:
         if plan is None:
             return False
         apply_compaction(self.torus, plan, head.job_id)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "migration", now, head_job=head.job_id, **plan.summary()
+            )
+        if self.metrics is not None:
+            self.metrics.counter("sim.migrations").inc()
         self.counters.migrations += 1
         self.counters.jobs_migrated += len(plan.moved_job_ids)
         cost = self.config.migration_cost_s
@@ -244,7 +311,7 @@ class Simulator:
                     job_id,
                     state.epoch,
                 )
-        self._dispatch(head, head_partition(plan, head.job_id), now)
+        self._dispatch(head, head_partition(plan, head.job_id), now, via="migration")
         return True
 
     def _try_backfill(
@@ -270,18 +337,34 @@ class Simulator:
                 continue
             partition = self.policy.choose_partition(index, state, now)
             if partition is not None:
-                self._dispatch(state, partition, now)
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "backfill", now, job=state.job_id,
+                        head_job=head.job_id, shadow=shadow, est_wall=est_wall,
+                    )
+                self._dispatch(state, partition, now, via="backfill")
                 self.counters.backfills += 1
                 return True
         return False
 
-    def _dispatch(self, state: JobState, partition: Partition, now: float) -> None:
+    def _dispatch(
+        self, state: JobState, partition: Partition, now: float, via: str = "fcfs"
+    ) -> None:
         wall = self.checkpoint.wall_duration(state.remaining_work)
         wall = max(wall, 1e-9)
         epoch = state.dispatch(now, wall)
         state.est_finish = now + self.checkpoint.wall_duration(
             max(state.remaining_estimate, MIN_ESTIMATE_S)
         )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "dispatch", now, job=state.job_id, size=state.size,
+                base=[int(x) for x in partition.base],
+                shape=[int(x) for x in partition.shape],
+                via=via, wall=wall, est_finish=state.est_finish,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("sim.dispatches").inc()
         self.torus.allocate(state.job_id, partition)
         self._running_ids.add(state.job_id)
         self.wait.remove(state)
@@ -320,6 +403,7 @@ def simulate(
     failure_log: FailureLog,
     policy: SchedulingPolicy,
     config: SimulationConfig | None = None,
+    recorder: TraceRecorder | NullRecorder | None = None,
 ) -> SimulationReport:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(workload, failure_log, policy, config).run()
+    return Simulator(workload, failure_log, policy, config, recorder=recorder).run()

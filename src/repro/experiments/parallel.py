@@ -31,7 +31,6 @@ Design notes
 
 from __future__ import annotations
 
-import logging
 import math
 import multiprocessing
 import os
@@ -48,11 +47,14 @@ from repro.experiments.sweep import (
     _result_cache,
     run_point,
     simulate_cell,
+    simulate_cell_obs,
 )
 from repro.failures.synthetic import BurstFailureModel
 from repro.metrics.report import SimulationReport
+from repro.obs.aggregate import CellObs, SweepObsCollector
+from repro.obs.log import get_logger
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Upper bound on chunks per worker: small enough to amortise IPC, large
 #: enough to load-balance uneven cell costs.
@@ -82,13 +84,22 @@ def default_workers() -> int:
 
 
 def _run_cell_chunk(
-    chunk: Sequence[tuple[int, SweepPoint, int, BurstFailureModel]],
-) -> list[tuple[int, SimulationReport]]:
-    """Worker entry point: run a contiguous slice of cells."""
-    return [
-        (cell_id, simulate_cell(point, seed, model))
-        for cell_id, point, seed, model in chunk
-    ]
+    chunk: Sequence[tuple[tuple[int, int], SweepPoint, int, BurstFailureModel]],
+    with_obs: bool = False,
+) -> list[tuple[tuple[int, int], SimulationReport, CellObs | None]]:
+    """Worker entry point: run a contiguous slice of cells.
+
+    With ``with_obs`` each cell also returns its picklable observability
+    payload (metrics snapshot + trace records) for the parent to merge.
+    """
+    out: list[tuple[tuple[int, int], SimulationReport, CellObs | None]] = []
+    for cell_id, point, seed, model in chunk:
+        if with_obs:
+            report, obs = simulate_cell_obs(point, seed, model)
+        else:
+            report, obs = simulate_cell(point, seed, model), None
+        out.append((cell_id, report, obs))
+    return out
 
 
 @dataclass
@@ -115,8 +126,16 @@ class SweepExecutor:
         points: Sequence[SweepPoint],
         seeds: Sequence[int],
         failure_model: BurstFailureModel | None = None,
+        collector: SweepObsCollector | None = None,
     ) -> list[SweepResult]:
-        """Run every cell of a sweep; order and values match serial."""
+        """Run every cell of a sweep; order and values match serial.
+
+        An observability ``collector`` disables the result-cache
+        shortcut (cached results carry no metrics or trace) and receives
+        every cell's payload; the merge order inside the collector is
+        sorted cell id, so aggregated metrics are independent of chunk
+        completion order and identical to the serial path's.
+        """
         model = failure_model or BurstFailureModel()
         seeds = tuple(seeds)
         if not seeds:
@@ -126,7 +145,11 @@ class SweepExecutor:
         results: list[SweepResult | None] = [None] * len(points)
         pending: list[int] = []
         for i, point in enumerate(points):
-            cached = _result_cache.get((point, seeds, model))
+            cached = (
+                _result_cache.get((point, seeds, model))
+                if collector is None
+                else None
+            )
             if cached is not None:
                 results[i] = cached
             else:
@@ -143,10 +166,17 @@ class SweepExecutor:
                     n_cells,
                 )
             for i in pending:
-                results[i] = run_point(points[i], seeds, model)
+                results[i] = run_point(
+                    points[i], seeds, model, collector=collector, point_index=i
+                )
             return results  # type: ignore[return-value]
 
-        reports = self._execute(points, pending, seeds, model, n_workers)
+        reports, observations = self._execute(
+            points, pending, seeds, model, n_workers, with_obs=collector is not None
+        )
+        if collector is not None:
+            for (i, si), obs in observations.items():
+                collector.add_cell(i, si, obs)
         for i in pending:
             point_reports = [reports[(i, s)] for s in range(len(seeds))]
             result = SweepResult.from_reports(points[i], point_reports)
@@ -162,8 +192,13 @@ class SweepExecutor:
         seeds: tuple[int, ...],
         model: BurstFailureModel,
         n_workers: int,
-    ) -> dict[tuple[int, int], SimulationReport]:
-        """Run the uncached cells and return ``(point_i, seed_i) -> report``."""
+        with_obs: bool = False,
+    ) -> tuple[
+        dict[tuple[int, int], SimulationReport],
+        dict[tuple[int, int], CellObs],
+    ]:
+        """Run the uncached cells; returns ``(point_i, seed_i)``-keyed
+        reports plus (when ``with_obs``) observability payloads."""
         # Seed-major enumeration: contiguous chunks share a seed, so a
         # worker's workload/master-log caches are hit by every cell of
         # the chunk after the first.
@@ -186,6 +221,7 @@ class SweepExecutor:
             n_workers,
         )
         reports: dict[tuple[int, int], SimulationReport] = {}
+        observations: dict[tuple[int, int], CellObs] = {}
         started = time.monotonic()
         last_log = started
         ctx = multiprocessing.get_context("fork")
@@ -193,12 +229,17 @@ class SweepExecutor:
             with ProcessPoolExecutor(
                 max_workers=min(n_workers, len(chunks)), mp_context=ctx
             ) as pool:
-                futures = {pool.submit(_run_cell_chunk, chunk) for chunk in chunks}
+                futures = {
+                    pool.submit(_run_cell_chunk, chunk, with_obs)
+                    for chunk in chunks
+                }
                 while futures:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        for cell_id, report in future.result():
+                        for cell_id, report, obs in future.result():
                             reports[cell_id] = report
+                            if obs is not None:
+                                observations[cell_id] = obs
                     now = time.monotonic()
                     if now - last_log >= self.log_interval_s and reports:
                         last_log = now
@@ -225,4 +266,4 @@ class SweepExecutor:
             elapsed,
             n_cells / elapsed if elapsed > 0 else float("inf"),
         )
-        return reports
+        return reports, observations

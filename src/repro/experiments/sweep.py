@@ -20,8 +20,10 @@ from typing import Iterable, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.policies.registry import make_policy
-from repro.core.simulator import simulate
+from repro.core.simulator import Simulator
 from repro.errors import ExperimentError
+from repro.obs.aggregate import CellObs, SweepObsCollector
+from repro.obs.log import get_logger
 from repro.failures.events import FailureLog
 from repro.failures.scaling import rescale_failures
 from repro.failures.synthetic import BurstFailureModel, generate_failures
@@ -167,16 +169,19 @@ def _failures_for(
 
 _result_cache: dict[tuple, SweepResult] = {}
 
+logger = get_logger(__name__)
 
-def simulate_cell(
-    point: SweepPoint, seed: int, model: BurstFailureModel
-) -> SimulationReport:
-    """Run one ``(point, seed)`` simulation cell.
 
-    The single code path behind both serial :func:`run_point` and the
-    parallel executor's workers — the per-cell inputs (workload draw,
-    master failure log) come from the module-level caches above, which
-    act as worker-side memoisation under ``multiprocessing`` fan-out.
+def _build_cell(
+    point: SweepPoint, seed: int, model: BurstFailureModel, with_obs: bool
+) -> Simulator:
+    """Assemble one ``(point, seed)`` cell's simulator.
+
+    ``with_obs`` forces metrics collection (``profile=True``) so sweep
+    observability works even when the point's config only asks for
+    traces — or for neither; tracing itself stays governed by
+    ``point.config.trace``.  Profiling is observational, so the report
+    is identical either way.
     """
     workload = _workload_for(point, seed)
     failures = _failures_for(point, workload, seed, model)
@@ -188,27 +193,72 @@ def simulate_cell(
         seed=seed + 3,
     )
     config = replace(point.config, seed=seed + 4)
-    return simulate(workload, failures, policy, config)
+    if with_obs:
+        config = replace(config, profile=True)
+    return Simulator(workload, failures, policy, config)
+
+
+def simulate_cell(
+    point: SweepPoint, seed: int, model: BurstFailureModel
+) -> SimulationReport:
+    """Run one ``(point, seed)`` simulation cell.
+
+    The single code path behind both serial :func:`run_point` and the
+    parallel executor's workers — the per-cell inputs (workload draw,
+    master failure log) come from the module-level caches above, which
+    act as worker-side memoisation under ``multiprocessing`` fan-out.
+    """
+    return _build_cell(point, seed, model, with_obs=False).run()
+
+
+def simulate_cell_obs(
+    point: SweepPoint, seed: int, model: BurstFailureModel
+) -> tuple[SimulationReport, CellObs]:
+    """Run one cell and capture its observability payload.
+
+    The payload (metrics snapshot, plus buffered trace records when the
+    point's config enables tracing) is picklable, so parallel workers
+    ship it back to the parent for deterministic aggregation.
+    """
+    simulator = _build_cell(point, seed, model, with_obs=True)
+    report = simulator.run()
+    metrics = simulator.metrics.to_dict() if simulator.metrics is not None else None
+    trace_records = (
+        simulator.recorder.records if simulator.recorder.enabled else None
+    )
+    return report, CellObs(metrics=metrics, trace_records=trace_records)
 
 
 def run_point(
     point: SweepPoint,
     seeds: Iterable[int] = (0, 1, 2),
     failure_model: BurstFailureModel | None = None,
+    collector: SweepObsCollector | None = None,
+    point_index: int = 0,
 ) -> SweepResult:
     """Run one sweep cell across ``seeds`` and average.
 
     Results are memoised on ``(point, seeds, model)`` — different paper
     figures share many cells (e.g. Figs. 4 and 5 plot different metrics
-    of the same sweep), so a full benchmark session reuses them.
+    of the same sweep), so a full benchmark session reuses them.  An
+    observability ``collector`` bypasses the memo on read (a cached
+    result has no metrics or trace to contribute) and feeds every cell's
+    payload keyed by ``(point_index, seed index)``.
     """
     model = failure_model or BurstFailureModel()
     seeds = tuple(seeds)
     cache_key = (point, seeds, model)
-    cached = _result_cache.get(cache_key)
-    if cached is not None:
-        return cached
-    reports = [simulate_cell(point, seed, model) for seed in seeds]
+    if collector is None:
+        cached = _result_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        reports = [simulate_cell(point, seed, model) for seed in seeds]
+    else:
+        reports = []
+        for seed_index, seed in enumerate(seeds):
+            report, obs = simulate_cell_obs(point, seed, model)
+            collector.add_cell(point_index, seed_index, obs)
+            reports.append(report)
     result = SweepResult.from_reports(point, reports)
     _result_cache[cache_key] = result
     return result
@@ -219,6 +269,7 @@ def run_sweep(
     seeds: Iterable[int] = (0, 1, 2),
     failure_model: BurstFailureModel | None = None,
     workers: int | None = None,
+    collector: SweepObsCollector | None = None,
 ) -> list[SweepResult]:
     """Run every cell of a sweep.
 
@@ -226,10 +277,25 @@ def run_sweep(
     pool (see :mod:`repro.experiments.parallel`); results are collected
     in point order and are bitwise-identical to the serial path.  ``None``
     or ``1`` runs in-process, as does any platform without ``fork``.
+
+    A :class:`~repro.obs.aggregate.SweepObsCollector` receives every
+    cell's metrics registry (and trace, when ``point.config.trace`` is
+    on) and merges them in deterministic cell order — parallel and
+    serial sweeps aggregate to identical metrics.  The collector is
+    finalized before this function returns.
     """
     seeds = tuple(seeds)
-    if workers is not None and workers > 1 and len(points) > 0:
-        from repro.experiments.parallel import SweepExecutor
+    try:
+        if workers is not None and workers > 1 and len(points) > 0:
+            from repro.experiments.parallel import SweepExecutor
 
-        return SweepExecutor(workers=workers).run(points, seeds, failure_model)
-    return [run_point(p, seeds, failure_model) for p in points]
+            return SweepExecutor(workers=workers).run(
+                points, seeds, failure_model, collector=collector
+            )
+        return [
+            run_point(p, seeds, failure_model, collector=collector, point_index=i)
+            for i, p in enumerate(points)
+        ]
+    finally:
+        if collector is not None:
+            collector.finalize()

@@ -1,0 +1,55 @@
+"""Observability: decision tracing, metrics and profiling.
+
+The simulator and the sweep engine are deterministic, but their headline
+numbers are aggregates over millions of individual scheduler decisions.
+This package makes those decisions observable without perturbing them:
+
+:mod:`repro.obs.trace`
+    :class:`TraceRecorder` emits one schema-versioned JSON record per
+    scheduler decision (arrival, candidate enumeration, dispatch,
+    backfill promotion, migration, failure, checkpoint).  Tracing is off
+    by default and routed through a no-op recorder, so the untraced hot
+    path pays nothing.
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` of counters, gauges, histograms and wall
+    -clock timers, plus a module-level *active registry* that hot paths
+    (shadow-time engine, placement index, finders) feed when profiling
+    is enabled.
+:mod:`repro.obs.aggregate`
+    Deterministic cross-process merge of per-cell registries and trace
+    streams for parallel sweeps.
+:mod:`repro.obs.tools`
+    The ``repro trace summarize|diff|validate`` toolchain.
+:mod:`repro.obs.log`
+    The shared ``repro`` logger hierarchy.
+
+Every record and metric is *observational*: reports are bit-for-bit
+identical with tracing on or off, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry, activate
+from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_record
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "activate",
+    "configure_logging",
+    "get_logger",
+    "read_trace",
+    "validate_record",
+    "write_trace",
+]

@@ -1,0 +1,53 @@
+"""Shared logging for the repro package.
+
+Every module logs through a child of the single ``repro`` root logger so
+one CLI flag (``bgl-sim -v``) or one :func:`configure_logging` call
+controls the whole tree.  Library code never installs handlers — it only
+emits; configuration is the application's (CLI's, test's) job, per the
+stdlib logging contract.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Name of the root logger every repro module logs under.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the shared ``repro`` root.
+
+    Module names already inside the package (``repro.experiments.sweep``)
+    are used verbatim; anything else (scripts, benchmarks) is prefixed so
+    it still rides the shared hierarchy.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger for CLI / script use.
+
+    ``verbosity`` counts ``-v`` flags: 0 = WARNING, 1 = INFO, 2+ = DEBUG.
+    Idempotent — repeated calls adjust the level but never stack a second
+    stream handler.
+    """
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    if not any(
+        isinstance(handler, logging.StreamHandler) for handler in root.handlers
+    ):
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    return root

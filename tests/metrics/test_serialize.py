@@ -62,3 +62,28 @@ class TestRoundTrip:
         data = report_to_dict(sample_report)
         data["parameters"]["site"] = "mutated"
         assert sample_report.parameters["site"] == "nasa"
+
+
+class TestEmptyReport:
+    """A zero-job run serialises and restores like any other."""
+
+    @pytest.fixture(scope="class")
+    def empty_report(self):
+        return quick_simulate(n_jobs=0, n_failures=0, seed=3)
+
+    def test_round_trip(self, empty_report):
+        restored = report_from_json(report_to_json(empty_report))
+        assert restored.records == ()
+        assert restored.timing == empty_report.timing
+        assert restored.capacity == empty_report.capacity
+        assert restored.counters == empty_report.counters
+
+    def test_empty_records_and_zero_averages(self, empty_report):
+        data = report_to_dict(empty_report)
+        assert data["records"] == []
+        assert data["timing"]["n_jobs"] == 0
+        assert data["timing"]["avg_wait"] == 0.0
+
+    def test_json_stable(self, empty_report):
+        # Serialisation is deterministic: same report, same bytes.
+        assert report_to_json(empty_report) == report_to_json(empty_report)

@@ -107,3 +107,41 @@ class TestSummarize:
         s = summarize_timing(records)
         assert s.total_restarts == 3
         assert s.total_lost_work == 900.0
+
+
+class TestZeroDurationEdges:
+    """Degenerate timing: instantaneous responses and Γ boundaries."""
+
+    def test_zero_response_is_gamma_bounded(self):
+        # Answered instantly: numerator pinned at Γ, never 0/x.
+        assert bounded_slowdown(0.0, 100.0) == pytest.approx(
+            GAMMA_SECONDS / 100.0
+        )
+        assert bounded_slowdown(0.0, 1.0) == 1.0
+
+    def test_runtime_exactly_gamma(self):
+        # Both conventions agree at the Γ boundary.
+        for rule in BoundedSlowdownRule:
+            assert (
+                bounded_slowdown(GAMMA_SECONDS, GAMMA_SECONDS, rule=rule)
+                == 1.0
+            )
+
+    def test_zero_duration_record(self):
+        # arrival == start == finish needs runtime > 0 only.
+        r = record(arrival=50.0, start=50.0, finish=50.0, runtime=0.001)
+        assert r.wait == 0.0
+        assert r.response == 0.0
+        assert r.slowdown() == 1.0
+
+    def test_summarize_all_instantaneous(self):
+        records = [
+            record(job_id=i, arrival=10.0, start=10.0, finish=10.0, runtime=0.5)
+            for i in range(3)
+        ]
+        s = summarize_timing(records)
+        assert s.n_jobs == 3
+        assert s.avg_wait == 0.0
+        assert s.avg_response == 0.0
+        assert s.avg_bounded_slowdown == 1.0
+        assert s.max_bounded_slowdown == 1.0

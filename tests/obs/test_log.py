@@ -1,0 +1,62 @@
+"""Tests for the shared repro logging hierarchy."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import ROOT_LOGGER_NAME, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def clean_root_logger():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    saved_handlers = root.handlers[:]
+    saved_level = root.level
+    root.handlers = []
+    yield
+    root.handlers = saved_handlers
+    root.setLevel(saved_level)
+
+
+class TestGetLogger:
+    def test_package_module_names_used_verbatim(self):
+        assert get_logger("repro.experiments.sweep").name == "repro.experiments.sweep"
+        assert get_logger("repro").name == "repro"
+
+    def test_external_names_are_prefixed(self):
+        assert get_logger("bench_core").name == "repro.bench_core"
+
+    def test_children_propagate_to_repro_root(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("repro.child.module").info("hello from child")
+        assert "hello from child" in stream.getvalue()
+        assert "repro.child.module" in stream.getvalue()
+
+
+class TestConfigureLogging:
+    def test_verbosity_levels(self):
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+        assert configure_logging(5).level == logging.DEBUG
+
+    def test_idempotent_handler_install(self):
+        root = configure_logging(1, stream=io.StringIO())
+        configure_logging(2, stream=io.StringIO())
+        handlers = [
+            h for h in root.handlers if isinstance(h, logging.StreamHandler)
+        ]
+        assert len(handlers) == 1
+        assert root.level == logging.DEBUG
+
+    def test_quiet_by_default(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        get_logger("repro.x").info("not shown")
+        get_logger("repro.x").warning("shown")
+        assert "not shown" not in stream.getvalue()
+        assert "shown" in stream.getvalue()

@@ -1,0 +1,184 @@
+"""Tests for the metrics registry: accessors, merge, serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    activate,
+)
+
+
+class TestAccessors:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(2.5)
+        assert reg.counter("a").value == 3.5
+
+    def test_gauge_last_write(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4)
+        reg.gauge("g").set(2)
+        assert reg.gauge("g").value == 2.0
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for v in (1, 3, 100):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == 104.0
+        assert hist.min == 1.0 and hist.max == 100.0
+        assert hist.mean == pytest.approx(104.0 / 3)
+        assert sum(hist.buckets) == 3
+
+    def test_histogram_overflow_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        hist.observe(HISTOGRAM_BOUNDS[-1] + 1)
+        assert hist.buckets[-1] == 1
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+    def test_timer_accumulates(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        with reg.timer("t"):
+            pass
+        stat = reg.timers["t"]
+        assert stat.count == 2
+        assert stat.total_s >= 0.0
+        assert stat.max_s <= stat.total_s
+
+    def test_zero_duration_timer(self):
+        # A scope that raises still records its (possibly ~0) duration.
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with reg.timer("t"):
+                raise ValueError("boom")
+        assert reg.timers["t"].count == 1
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(12)
+        with reg.timer("t"):
+            pass
+        restored = MetricsRegistry.from_dict(reg.to_dict())
+        assert restored.to_dict() == reg.to_dict()
+
+    def test_empty_registry_round_trip(self):
+        reg = MetricsRegistry()
+        data = reg.to_dict()
+        assert data["schema"] == METRICS_SCHEMA_VERSION
+        assert data["counters"] == {}
+        assert MetricsRegistry.from_dict(data).to_dict() == data
+
+    def test_exclude_timings(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        data = reg.to_dict(include_timings=False)
+        assert "timers" not in data
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(SimulationError, match="schema"):
+            MetricsRegistry.from_dict({"schema": 999})
+
+    def test_wrong_bucket_count_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1)
+        data = reg.to_dict()
+        data["histograms"]["h"]["buckets"] = [0, 1]
+        with pytest.raises(SimulationError, match="buckets"):
+            MetricsRegistry.from_dict(data)
+
+
+class TestMerge:
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(5)
+        b.gauge("g").set(3)
+        a.histogram("h").observe(1)
+        b.histogram("h").observe(50)
+        a.merge(b)
+        assert a.counter("c").value == 3.0
+        assert a.gauge("g").value == 5.0  # max wins
+        hist = a.histogram("h")
+        assert hist.count == 2 and hist.min == 1.0 and hist.max == 50.0
+
+    def test_merge_is_order_independent(self):
+        def build(values):
+            reg = MetricsRegistry()
+            for v in values:
+                reg.counter("c").inc(v)
+                reg.gauge("g").set(v)
+                reg.histogram("h").observe(v)
+            return reg
+
+        parts = [build([1, 9]), build([4]), build([2, 2])]
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for p in parts:
+            fwd.merge(p)
+        for p in reversed(parts):
+            rev.merge(p)
+        assert fwd.to_dict() == rev.to_dict()
+
+    def test_merge_dict(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(4)
+        a.merge_dict(b.to_dict())
+        assert a.counter("c").value == 4.0
+
+
+class TestActivate:
+    def test_activate_installs_and_restores(self):
+        assert obs_metrics.ACTIVE is None
+        reg = MetricsRegistry()
+        with activate(reg) as active:
+            assert active is reg
+            assert obs_metrics.ACTIVE is reg
+        assert obs_metrics.ACTIVE is None
+
+    def test_activate_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with activate(outer):
+            with activate(inner):
+                assert obs_metrics.ACTIVE is inner
+            assert obs_metrics.ACTIVE is outer
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with activate(MetricsRegistry()):
+                raise RuntimeError
+        assert obs_metrics.ACTIVE is None
+
+
+class TestSummary:
+    def test_summary_lines_cover_all_types(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.dispatches").inc(10)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(2)
+        with reg.timer("sim.run"):
+            pass
+        lines = reg.summary_lines()
+        text = "\n".join(lines)
+        assert "counter" in text and "gauge" in text
+        assert "histogram" in text and "timer" in text
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().summary_lines() == []

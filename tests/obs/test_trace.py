@@ -1,0 +1,146 @@
+"""Tests for trace recorders, NDJSON I/O and schema validation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.schema import (
+    DECISION_KINDS,
+    TRACE_SCHEMA_VERSION,
+    validate_record,
+    validate_stream,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+
+
+class TestTraceRecorder:
+    def test_buffered_records(self):
+        rec = TraceRecorder()
+        rec.header(policy="balancing", workload="w", dims=[8, 4, 2], seed=0)
+        rec.emit("arrival", 1.5, job=0, size=4)
+        assert len(rec) == 2
+        assert rec.records[0]["kind"] == "header"
+        assert rec.records[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert rec.records[1] == {
+            "kind": "arrival", "t": 1.5, "seq": 1, "job": 0, "size": 4,
+        }
+
+    def test_seq_is_dense(self):
+        rec = TraceRecorder()
+        for i in range(5):
+            rec.emit("arrival", float(i), job=i, size=1)
+        assert [r["seq"] for r in rec.records] == list(range(5))
+
+    def test_header_must_be_first(self):
+        rec = TraceRecorder()
+        rec.emit("arrival", 0.0, job=0, size=1)
+        with pytest.raises(SimulationError, match="first"):
+            rec.header(policy="p")
+
+    def test_sink_streaming(self):
+        sink = io.StringIO()
+        rec = TraceRecorder(sink=sink)
+        rec.emit("arrival", 0.0, job=0, size=1)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 1
+        assert '"kind":"arrival"' in lines[0]
+        with pytest.raises(SimulationError, match="sink"):
+            rec.records
+
+    def test_enabled_flags(self):
+        assert TraceRecorder().enabled is True
+        assert NULL_RECORDER.enabled is False
+
+    def test_null_recorder_is_noop(self):
+        rec = NullRecorder()
+        rec.header(policy="x")
+        rec.emit("arrival", 0.0, job=0, size=1)
+        assert len(rec) == 0
+
+
+class TestNdjsonIO:
+    def test_round_trip(self, tmp_path):
+        rec = TraceRecorder()
+        rec.header(policy="p", workload="w", dims=[2, 2, 2], seed=1)
+        rec.emit("dispatch", 3.0, job=1, size=8, base=[0, 0, 0],
+                 shape=[2, 2, 2], via="fcfs", wall=60.0)
+        path = rec.write(tmp_path / "t.ndjson")
+        assert read_trace(path) == rec.records
+
+    def test_byte_identical_encoding(self, tmp_path):
+        records = [{"kind": "arrival", "t": 0.0, "seq": 0, "job": 3, "size": 2}]
+        a, b = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+        write_trace(records, a)
+        write_trace(records, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text('{"kind":"arrival","t":0.0,"seq":0}\n\n\n')
+        assert len(read_trace(path)) == 1
+
+    def test_bad_json_pinpointed(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"kind":"arrival","t":0.0,"seq":0}\nnot-json\n')
+        with pytest.raises(SimulationError, match=r"bad\.ndjson:2"):
+            list(iter_trace(path))
+
+
+class TestSchema:
+    def test_valid_record(self):
+        assert validate_record(
+            {"kind": "arrival", "t": 0.0, "seq": 0, "job": 1, "size": 2}
+        ) == []
+
+    def test_unknown_kind(self):
+        errors = validate_record({"kind": "nope", "t": 0.0, "seq": 0})
+        assert any("kind" in e for e in errors)
+
+    def test_missing_required_field(self):
+        errors = validate_record(
+            {"kind": "arrival", "t": 0.0, "seq": 0, "job": 1}
+        )
+        assert any("size" in e for e in errors)
+
+    def test_decision_kinds_exclude_header(self):
+        assert "header" not in DECISION_KINDS
+
+    def test_stream_requires_header(self):
+        errors = validate_stream(
+            [{"kind": "arrival", "t": 0.0, "seq": 0, "job": 1, "size": 2}]
+        )
+        assert any("header" in e for e in errors)
+
+    def test_stream_checks_seq_density(self):
+        stream = [
+            {"kind": "header", "t": 0.0, "seq": 0,
+             "schema": TRACE_SCHEMA_VERSION, "policy": "p", "workload": "w",
+             "dims": [2, 2, 2], "seed": 0},
+            {"kind": "arrival", "t": 0.0, "seq": 5, "job": 1, "size": 2},
+        ]
+        errors = validate_stream(stream)
+        assert any("seq" in e for e in errors)
+
+    def test_stream_checks_time_monotonicity(self):
+        stream = [
+            {"kind": "header", "t": 0.0, "seq": 0,
+             "schema": TRACE_SCHEMA_VERSION, "policy": "p", "workload": "w",
+             "dims": [2, 2, 2], "seed": 0},
+            {"kind": "arrival", "t": 10.0, "seq": 1, "job": 1, "size": 2},
+            {"kind": "arrival", "t": 5.0, "seq": 2, "job": 2, "size": 2},
+        ]
+        errors = validate_stream(stream)
+        assert any("time" in e or "decreas" in e for e in errors)
+
+    def test_empty_stream_invalid(self):
+        assert validate_stream([]) != []

@@ -119,3 +119,69 @@ class TestCli:
         write_swf(workload, path)
         assert main(["characterize", "--swf", str(path)]) == 0
         assert "n_jobs" in capsys.readouterr().out
+
+
+class TestCliObservability:
+    def run_traced(self, tmp_path, name, extra=()):
+        path = tmp_path / name
+        code = main(
+            ["run", "--site", "nasa", "--jobs", "15", "--failures", "2",
+             "--trace", str(path), *extra]
+        )
+        assert code == 0
+        return path
+
+    def test_run_trace_writes_valid_file(self, tmp_path, capsys):
+        path = self.run_traced(tmp_path, "t.ndjson")
+        assert path.exists()
+        assert "trace:" in capsys.readouterr().out
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_metrics_prints_counters(self, capsys):
+        assert main(
+            ["run", "--site", "nasa", "--jobs", "15", "--failures", "2",
+             "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sim.dispatches" in out
+        assert "timer" in out
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        path = self.run_traced(tmp_path, "t.ndjson")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records by kind:" in out
+        assert "arrival" in out
+
+    def test_trace_diff_identical(self, tmp_path, capsys):
+        a = self.run_traced(tmp_path, "a.ndjson")
+        b = self.run_traced(tmp_path, "b.ndjson")
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_trace_diff_divergent(self, tmp_path, capsys):
+        a = self.run_traced(tmp_path, "a.ndjson")
+        b = self.run_traced(tmp_path, "b.ndjson", extra=["--seed", "9"])
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "decision #" in capsys.readouterr().out
+
+    def test_trace_validate_flags_broken_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.ndjson"
+        path.write_text('{"kind":"arrival","t":0.0,"seq":0,"job":1,"size":2}\n')
+        assert main(["trace", "validate", str(path)]) == 1
+        assert "header" in capsys.readouterr().out
+
+    def test_workers_must_be_positive(self, capsys):
+        for bad in ("0", "-3", "abc"):
+            with pytest.raises(SystemExit) as exc_info:
+                main(["figure", "fig3", "--workers", bad])
+            assert exc_info.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["-v", "sites"]) == 0
+        assert "nasa" in capsys.readouterr().out
