@@ -103,6 +103,46 @@ def run_simulation(setup: SimulationSetup) -> SimulationReport:
     return setup.run()
 
 
+def resilient_sweep(
+    points,
+    seeds=(0, 1, 2),
+    *,
+    checkpoint_dir,
+    workers: int | None = None,
+    retry=None,
+    chaos=None,
+    resume: bool = True,
+    failure_model: BurstFailureModel | None = None,
+):
+    """Checkpointed, retrying sweep in one call.
+
+    Persists every completed ``(point, seed)`` cell under
+    ``checkpoint_dir`` (atomic, content-addressed, schema-versioned), so
+    a killed run re-invoked with the same arguments resumes where it
+    stopped and produces results bitwise-identical to an uninterrupted
+    run.  Worker crashes are retried under ``retry`` (a
+    :class:`~repro.resilience.RetryPolicy`, defaulted when ``None``) and
+    persistently failing cells are quarantined into
+    ``<checkpoint_dir>/quarantine.json`` instead of aborting the sweep.
+
+    Returns a :class:`~repro.resilience.ResilientSweepOutcome`:
+    ``.results`` (one per point, ``None`` only if every seed was
+    quarantined), ``.quarantined`` and ``.stats``.
+    """
+    from repro.experiments.sweep import run_sweep_outcome
+
+    return run_sweep_outcome(
+        points,
+        seeds,
+        failure_model,
+        workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        chaos=chaos,
+        resume=resume,
+    )
+
+
 def quick_simulate(
     site: str = "sdsc",
     n_jobs: int = 500,

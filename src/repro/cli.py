@@ -3,6 +3,7 @@
 ::
 
     bgl-sim run     --site sdsc --policy balancing --parameter 0.1 ...
+    bgl-sim sweep   --parameters 0.0 0.1 0.3 [--checkpoint-dir DIR] ...
     bgl-sim figure  fig3 [--jobs 500] [--seeds 2]
     bgl-sim figures            # list regenerable figures
     bgl-sim sites              # list workload site models
@@ -34,6 +35,63 @@ def _positive_int(value: str) -> int:
             f"must be a positive integer (>= 1), got {parsed}"
         )
     return parsed
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/retry options shared by ``sweep`` and ``figure``."""
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist every completed sweep cell here (atomic, "
+            "content-addressed); a killed run re-invoked with the same "
+            "arguments resumes where it stopped"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "trust verified cells already in --checkpoint-dir "
+            "(--no-resume recomputes everything but still writes "
+            "checkpoints)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "attempts per cell before it is quarantined instead of "
+            "aborting the sweep (enables the retrying executor)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell; a timeout counts as a failed attempt",
+    )
+
+
+def _retry_policy(args: argparse.Namespace):
+    """Build a RetryPolicy from CLI flags, or None when none were given."""
+    if args.max_retries is None and args.cell_timeout is None:
+        return None
+    from repro.resilience import RetryPolicy
+
+    kwargs = {}
+    if args.max_retries is not None:
+        kwargs["max_attempts"] = args.max_retries
+    if args.cell_timeout is not None:
+        if args.cell_timeout <= 0:
+            raise SystemExit("--cell-timeout must be positive")
+        kwargs["cell_timeout_s"] = args.cell_timeout
+    return RetryPolicy(**kwargs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +144,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect and print internal counters/timings for the run",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a sweep grid with optional checkpoint/resume and retry",
+    )
+    sweep.add_argument("--site", default="sdsc", help="workload model (nasa/sdsc/llnl)")
+    sweep.add_argument(
+        "--policy", default="balancing", help="krevat / balancing / tiebreak"
+    )
+    sweep.add_argument(
+        "--parameters",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3],
+        metavar="A",
+        help="prediction parameter values to sweep",
+    )
+    sweep.add_argument(
+        "--failures",
+        type=int,
+        nargs="+",
+        default=[50],
+        metavar="N",
+        help="failure counts to sweep (crossed with --parameters)",
+    )
+    sweep.add_argument("--jobs", type=int, default=200, help="jobs per cell")
+    sweep.add_argument("--load", type=float, default=1.0, help="load scale c")
+    sweep.add_argument(
+        "--seeds", type=_positive_int, default=2, help="number of seeds per point"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="parallel sweep workers (default 1; results identical either way)",
+    )
+    _add_resilience_flags(sweep)
+
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("name", help="fig3 .. fig10")
     fig.add_argument("--jobs", type=int, default=None)
@@ -100,6 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     fig.add_argument("--chart", action="store_true", help="render an ASCII chart")
+    _add_resilience_flags(fig)
 
     sub.add_parser("figures", help="list regenerable figures")
     sub.add_parser("sites", help="list bundled workload site models")
@@ -219,13 +315,78 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import SweepPoint, run_sweep_outcome
+
+    points = [
+        SweepPoint(
+            site=args.site,
+            n_jobs=args.jobs,
+            load_scale=args.load,
+            n_failures=n_failures,
+            policy=args.policy,
+            parameter=parameter,
+        )
+        for n_failures in args.failures
+        for parameter in args.parameters
+    ]
+    outcome = run_sweep_outcome(
+        points,
+        seeds=tuple(range(args.seeds)),
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        retry=_retry_policy(args),
+        resume=args.resume,
+    )
+    header = (
+        f"{'failures':>8} {'param':>6} {'slowdown':>9} {'response':>9} "
+        f"{'wait':>8} {'util':>6} {'kills':>6} {'seeds':>5}"
+    )
+    print(header)
+    for point, result in zip(points, outcome.results):
+        if result is None:
+            print(
+                f"{point.n_failures:>8} {point.parameter:>6.2f} "
+                f"{'(all seeds quarantined)':>40}"
+            )
+            continue
+        print(
+            f"{point.n_failures:>8} {point.parameter:>6.2f} "
+            f"{result.avg_bounded_slowdown:>9.3f} {result.avg_response:>9.0f} "
+            f"{result.avg_wait:>8.0f} {result.utilized:>6.3f} "
+            f"{result.job_kills:>6.1f} {result.n_seeds:>5}"
+        )
+    print(f"\n{outcome.stats.summary_line()}")
+    if outcome.quarantined:
+        cells = ", ".join(
+            f"(point {e.point_index}, seed#{e.seed_index})"
+            for e in outcome.quarantined
+        )
+        print(f"quarantined cells: {cells}")
+        if args.checkpoint_dir:
+            from repro.resilience import CellStore
+
+            print(
+                f"details: {CellStore(args.checkpoint_dir).quarantine_path}"
+            )
+    return 0 if outcome.complete else 1
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments import format_figure, run_figure
 
     from repro.experiments.validate import validate_figure
 
     seeds = tuple(range(args.seeds)) if args.seeds else None
-    result = run_figure(args.name, n_jobs=args.jobs, seeds=seeds, workers=args.workers)
+    result = run_figure(
+        args.name,
+        n_jobs=args.jobs,
+        seeds=seeds,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        retry=_retry_policy(args),
+        resume=args.resume,
+    )
     print(format_figure(result))
     print()
     print(validate_figure(result).summary())
@@ -386,6 +547,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         configure_logging(args.verbose)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "figures":

@@ -52,6 +52,24 @@ class ExperimentError(ReproError):
     """Invalid experiment specification in the benchmark harness."""
 
 
+class ResilienceError(ReproError):
+    """Invalid resilience configuration (checkpoint store, retry policy)."""
+
+
+class CellTimeoutError(ResilienceError):
+    """A sweep cell exceeded its :class:`~repro.resilience.RetryPolicy`
+    per-cell timeout and was aborted; the cell is retried or
+    quarantined, never silently dropped."""
+
+
+class ChaosError(ReproError):
+    """A failure injected by the :mod:`repro.resilience.chaos` layer.
+
+    Raised only when a :class:`~repro.resilience.ChaosConfig` explicitly
+    schedules an in-cell fault; never seen in production runs (chaos is
+    off by default)."""
+
+
 class OracleError(ReproError):
     """A runtime correctness oracle (:mod:`repro.testing`) detected a
     violation of a simulator invariant."""

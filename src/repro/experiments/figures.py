@@ -33,7 +33,8 @@ from typing import Callable, Sequence
 from repro.core.config import SimulationConfig
 from repro.errors import ExperimentError
 from repro.experiments.parallel import default_workers
-from repro.experiments.sweep import SweepPoint, SweepResult, run_sweep
+from repro.experiments.sweep import SweepPoint, SweepResult, run_sweep_outcome
+from repro.resilience import RetryPolicy, incomplete_points
 from repro.workloads.models import site_model
 from repro.workloads.scaling import fit_to_machine, scale_load
 from repro.workloads.synthetic import generate_workload
@@ -107,16 +108,39 @@ def _assemble_series(
     series_points: list[tuple[str, list[tuple[float, SweepPoint]]]],
     seeds: tuple[int, ...],
     workers: int | None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Run every series' points as one flat sweep and slice them back.
 
     Flattening across series before fanning out maximises parallelism —
     a figure's whole grid saturates the pool instead of one series at a
-    time.
+    time.  With ``checkpoint_dir`` the flat sweep checkpoints each cell
+    (content-addressed, so a re-run resumes exactly); a figure whose
+    sweep quarantined cells is an error — every point of a figure is
+    required — but the completed cells are already durable, so the
+    retry costs only the quarantined cells.
     """
     flat = [p for _, rows in series_points for _, p in rows]
     workers = workers if workers is not None else default_workers()
-    sweep_results = run_sweep(flat, seeds, workers=workers)
+    outcome = run_sweep_outcome(
+        flat,
+        seeds,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
+    )
+    short = incomplete_points(outcome, seeds)
+    if short:
+        raise ExperimentError(
+            f"figure {result.figure} sweep quarantined cells of "
+            f"{len(short)} points (indices {short[:8]}); completed cells "
+            f"are checkpointed{' in ' + str(checkpoint_dir) if checkpoint_dir else ''} "
+            f"— inspect quarantine.json and rerun"
+        )
+    sweep_results = outcome.results
     cursor = 0
     for label, rows in series_points:
         result.series[label] = [
@@ -136,6 +160,9 @@ def _failure_rate_sweep(
     seeds: Sequence[int] | None = None,
     policy: str = "balancing",
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     n_jobs = n_jobs or default_n_jobs()
     seeds = tuple(seeds or default_seeds())
@@ -158,7 +185,10 @@ def _failure_rate_sweep(
             for paper_count in PAPER_FAILURE_AXIS
         ]
         series_points.append((label, rows))
-    return _assemble_series(result, series_points, seeds, workers)
+    return _assemble_series(
+        result, series_points, seeds, workers,
+        checkpoint_dir=checkpoint_dir, retry=retry, resume=resume,
+    )
 
 
 def _parameter_sweep(
@@ -171,6 +201,9 @@ def _parameter_sweep(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     n_jobs = n_jobs or default_n_jobs()
     seeds = tuple(seeds or default_seeds())
@@ -196,7 +229,10 @@ def _parameter_sweep(
                 for a in PAPER_PARAMETER_AXIS
             ]
             series_points.append((f"{site} c={c}", rows))
-    return _assemble_series(result, series_points, seeds, workers)
+    return _assemble_series(
+        result, series_points, seeds, workers,
+        checkpoint_dir=checkpoint_dir, retry=retry, resume=resume,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -207,6 +243,9 @@ def fig3(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 3: avg bounded slowdown vs failure rate, SDSC, balancing,
     a in {0 (no prediction), 0.1, 0.9}."""
@@ -218,6 +257,9 @@ def fig3(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -225,6 +267,9 @@ def fig4(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 4: avg bounded slowdown vs failure rate for loads c=1.0/1.2
     (SDSC, balancing; the paper does not state the confidence — we use
@@ -237,6 +282,9 @@ def fig4(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -244,6 +292,9 @@ def fig5(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 5: utilization vs failure rate, SDSC, balancing (a=0.1),
     panels c=1.0 and c=1.2."""
@@ -255,6 +306,9 @@ def fig5(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -262,6 +316,9 @@ def fig6(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 6: avg bounded slowdown vs confidence, balancing, panels
     SDSC/NASA/LLNL, loads c=1.0 and c=1.2."""
@@ -275,6 +332,9 @@ def fig6(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -282,6 +342,9 @@ def fig7(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 7: utilization vs confidence, SDSC, balancing, c=1.0/1.2."""
     return _parameter_sweep(
@@ -294,6 +357,9 @@ def fig7(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -301,6 +367,9 @@ def fig8(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 8: utilization vs confidence, NASA, balancing, c=1.0/1.2."""
     return _parameter_sweep(
@@ -313,6 +382,9 @@ def fig8(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -320,6 +392,9 @@ def fig9(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 9: avg bounded slowdown vs accuracy, tie-breaking, panels
     SDSC/NASA/LLNL, loads c=1.0 and c=1.2."""
@@ -333,6 +408,9 @@ def fig9(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -340,6 +418,9 @@ def fig10(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Fig. 10: utilization vs accuracy, LLNL, tie-breaking, c=1.0/1.2."""
     return _parameter_sweep(
@@ -352,6 +433,9 @@ def fig10(
         n_jobs=n_jobs,
         seeds=seeds,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
     )
 
 
@@ -377,6 +461,9 @@ def run_figure(
     n_jobs: int | None = None,
     seeds: Sequence[int] | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Regenerate one figure by name (``fig3`` .. ``fig10``)."""
     try:
@@ -385,4 +472,11 @@ def run_figure(
         raise ExperimentError(
             f"unknown figure {name!r}; available: {', '.join(_FIGURES)}"
         ) from None
-    return fn(n_jobs=n_jobs, seeds=seeds, workers=workers)
+    return fn(
+        n_jobs=n_jobs,
+        seeds=seeds,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        resume=resume,
+    )

@@ -8,23 +8,37 @@ identical** to the serial path — each cell is a deterministic function
 of its inputs, and aggregation happens in the parent in the same seed
 order :func:`~repro.experiments.sweep.run_point` uses.
 
+Two execution regimes share the cell enumeration:
+
+* the **fast path** (no resilience options) chunks cells contiguously
+  to amortise IPC and hit worker-side caches — unchanged hot path, zero
+  overhead; a dead worker aborts the sweep with an error naming the
+  unfinished cells;
+* the **resilient path** (any of ``checkpoint_dir`` / ``retry`` /
+  ``chaos`` set) submits one cell per task so failures are attributable:
+  completed cells are persisted atomically through
+  :class:`~repro.resilience.CellStore` (a killed sweep resumes
+  bitwise-identically), cells lost to worker crashes or in-cell
+  exceptions are resubmitted under the
+  :class:`~repro.resilience.RetryPolicy` backoff schedule, persistently
+  failing cells are quarantined into ``quarantine.json`` instead of
+  aborting, and a pool that keeps breaking degrades to in-process
+  execution.  The :class:`~repro.resilience.ChaosConfig` fault-injection
+  hooks (default off) ride the same path so the test suites can rehearse
+  every one of those scenarios deterministically.
+
 Design notes
 ------------
-* Cells are enumerated **seed-major** and chunked contiguously: the
-  expensive per-cell inputs (workload draw, master failure log) depend on
-  the seed but not on the swept parameter, so cells that share a seed
-  land on the same worker and hit its module-level caches
-  (worker-side memoisation — the caches in :mod:`repro.experiments.sweep`
-  persist for the life of each worker process).
+* Cells are enumerated **seed-major**: the expensive per-cell inputs
+  (workload draw, master failure log) depend on the seed but not on the
+  swept parameter, so neighbouring cells share a seed and hit the
+  module-level caches in :mod:`repro.experiments.sweep` (worker-side
+  memoisation — caches persist for the life of each worker process).
 * Workers are forked, so they also inherit any caches the parent has
   already warmed.
-* Chunking is deterministic (pure function of the cell count and worker
-  count), results are keyed by cell index, and per-point reports are
-  re-ordered to seed order before averaging — arrival order of chunk
-  completions cannot affect the output.
-* A worker that dies (OOM-kill, segfault, ``os._exit``) surfaces as
-  :class:`~repro.errors.ExperimentError` via the executor's broken-pool
-  detection rather than hanging the sweep.
+* Scheduling is deterministic in *value*: results are keyed by cell
+  index and re-ordered before averaging, so neither chunk completion
+  order nor retry order can affect the output.
 * Platforms without ``fork`` (Windows, some sandboxes) fall back to
   in-process execution, as does ``workers <= 1``.
 """
@@ -37,8 +51,9 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.sweep import (
@@ -53,12 +68,29 @@ from repro.failures.synthetic import BurstFailureModel
 from repro.metrics.report import SimulationReport
 from repro.obs.aggregate import CellObs, SweepObsCollector
 from repro.obs.log import get_logger
+from repro.obs.metrics import count_active
+from repro.resilience import (
+    CellStore,
+    ChaosConfig,
+    Quarantine,
+    QuarantineEntry,
+    ResilientSweepOutcome,
+    RetryPolicy,
+    SweepRunStats,
+    cell_key,
+    cell_timeout,
+    corrupt_checkpoint,
+    inject_pre_cell,
+)
 
 logger = get_logger(__name__)
 
 #: Upper bound on chunks per worker: small enough to amortise IPC, large
 #: enough to load-balance uneven cell costs.
 _CHUNKS_PER_WORKER = 4
+
+#: One sweep cell: ``((point_index, seed_index), point, seed)``.
+Cell = tuple[tuple[int, int], SweepPoint, int]
 
 
 def fork_available() -> bool:
@@ -87,7 +119,7 @@ def _run_cell_chunk(
     chunk: Sequence[tuple[tuple[int, int], SweepPoint, int, BurstFailureModel]],
     with_obs: bool = False,
 ) -> list[tuple[tuple[int, int], SimulationReport, CellObs | None]]:
-    """Worker entry point: run a contiguous slice of cells.
+    """Fast-path worker entry point: run a contiguous slice of cells.
 
     With ``with_obs`` each cell also returns its picklable observability
     payload (metrics snapshot + trace records) for the parent to merge.
@@ -102,6 +134,33 @@ def _run_cell_chunk(
     return out
 
 
+def _run_cell_task(
+    cell_id: tuple[int, int],
+    point: SweepPoint,
+    seed: int,
+    model: BurstFailureModel,
+    attempt: int,
+    chaos: ChaosConfig | None,
+    timeout_s: float | None,
+    with_obs: bool,
+) -> tuple[tuple[int, int], SimulationReport, CellObs | None]:
+    """Resilient-path worker entry point: one cell per task.
+
+    Single-cell tasks make failures attributable — an exception names
+    exactly one cell, and a pool breakage loses exactly the in-flight
+    cells — at the price of more IPC, which resilience callers accept.
+    Chaos injection and the per-cell wall-clock timeout both live inside
+    the task so they apply identically in workers and in-process.
+    """
+    with cell_timeout(timeout_s):
+        inject_pre_cell(chaos, cell_id, attempt, in_worker=True)
+        if with_obs:
+            report, obs = simulate_cell_obs(point, seed, model)
+        else:
+            report, obs = simulate_cell(point, seed, model), None
+    return cell_id, report, obs
+
+
 @dataclass
 class SweepExecutor:
     """Fans sweep cells out over a process pool.
@@ -111,16 +170,48 @@ class SweepExecutor:
     workers:
         Pool size; ``None`` resolves via :func:`default_workers`.
     chunk_size:
-        Cells per task; ``None`` derives a deterministic size from the
-        cell and worker counts.
+        Fast-path cells per task; ``None`` derives a deterministic size
+        from the cell and worker counts.
     log_interval_s:
         Minimum seconds between progress/ETA log lines.
+    checkpoint_dir:
+        Persist every completed cell into a
+        :class:`~repro.resilience.CellStore` rooted here; with
+        ``resume`` (default), already-stored cells are restored instead
+        of recomputed.  Enables the resilient path.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for crashed/raising
+        cells; any resilient run without one uses the defaults.
+    chaos:
+        :class:`~repro.resilience.ChaosConfig` fault injection (testing
+        only; default off).
+    resume:
+        Whether to trust existing checkpoint cells (verified reads) or
+        recompute everything while still writing checkpoints.
+    sleep:
+        Backoff clock, injectable so tests can fake it.
     """
 
     workers: int | None = None
     chunk_size: int | None = None
     log_interval_s: float = 5.0
+    checkpoint_dir: str | Path | None = None
+    retry: RetryPolicy | None = None
+    chaos: ChaosConfig | None = None
+    resume: bool = True
+    sleep: Callable[[float], None] = field(default=time.sleep)
 
+    @property
+    def resilient(self) -> bool:
+        """Whether any resilience feature routes this run off the fast
+        path (chunked pool execution with fail-fast semantics)."""
+        return (
+            self.checkpoint_dir is not None
+            or self.retry is not None
+            or (self.chaos is not None and self.chaos.enabled)
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         points: Sequence[SweepPoint],
@@ -130,24 +221,46 @@ class SweepExecutor:
     ) -> list[SweepResult]:
         """Run every cell of a sweep; order and values match serial.
 
+        Thin wrapper over :meth:`run_outcome` for callers that only want
+        the results (entries are ``None`` only for points whose every
+        seed was quarantined, which requires resilience options on).
+        """
+        return self.run_outcome(points, seeds, failure_model, collector).results
+
+    def run_outcome(
+        self,
+        points: Sequence[SweepPoint],
+        seeds: Sequence[int],
+        failure_model: BurstFailureModel | None = None,
+        collector: SweepObsCollector | None = None,
+    ) -> ResilientSweepOutcome:
+        """Run every cell of a sweep and report what resilience did.
+
         An observability ``collector`` disables the result-cache
         shortcut (cached results carry no metrics or trace) and receives
-        every cell's payload; the merge order inside the collector is
-        sorted cell id, so aggregated metrics are independent of chunk
-        completion order and identical to the serial path's.
+        every computed cell's payload; the merge order inside the
+        collector is sorted cell id, so aggregated metrics are
+        independent of completion order and identical to the serial
+        path's.  Cells restored from a checkpoint contribute no
+        metrics/trace (they were not executed).
         """
         model = failure_model or BurstFailureModel()
         seeds = tuple(seeds)
         if not seeds:
             raise ExperimentError("cannot run a sweep across zero seeds")
         n_workers = self.workers if self.workers is not None else default_workers()
+        resilient = self.resilient
+        stats = SweepRunStats()
 
         results: list[SweepResult | None] = [None] * len(points)
         pending: list[int] = []
         for i, point in enumerate(points):
+            # The in-memory memo is bypassed on the resilient path: it
+            # cannot say which cells are durably checkpointed, and a
+            # resumable sweep must leave a complete on-disk record.
             cached = (
                 _result_cache.get((point, seeds, model))
-                if collector is None
+                if collector is None and not resilient
                 else None
             )
             if cached is not None:
@@ -155,7 +268,12 @@ class SweepExecutor:
             else:
                 pending.append(i)
         if not pending:
-            return results  # type: ignore[return-value]
+            return ResilientSweepOutcome(results, (), stats)
+
+        if resilient:
+            return self._run_resilient(
+                points, pending, seeds, model, n_workers, collector, results, stats
+            )
 
         n_cells = len(pending) * len(seeds)
         if n_workers <= 1 or n_cells <= 1 or not fork_available():
@@ -169,7 +287,7 @@ class SweepExecutor:
                 results[i] = run_point(
                     points[i], seeds, model, collector=collector, point_index=i
                 )
-            return results  # type: ignore[return-value]
+            return ResilientSweepOutcome(results, (), stats)
 
         reports, observations = self._execute(
             points, pending, seeds, model, n_workers, with_obs=collector is not None
@@ -182,8 +300,10 @@ class SweepExecutor:
             result = SweepResult.from_reports(points[i], point_reports)
             _result_cache[(points[i], seeds, model)] = result
             results[i] = result
-        return results  # type: ignore[return-value]
+        return ResilientSweepOutcome(results, (), stats)
 
+    # ------------------------------------------------------------------
+    # fast path (no resilience): chunked fan-out, fail-fast
     # ------------------------------------------------------------------
     def _execute(
         self,
@@ -255,9 +375,20 @@ class SweepExecutor:
                             remaining,
                         )
         except BrokenProcessPool as exc:
+            unfinished = sorted(
+                cell_id for cell_id, *_ in cells if cell_id not in reports
+            )
+            shown = ", ".join(
+                f"(point {pi}, seed#{si})" for pi, si in unfinished[:8]
+            )
+            if len(unfinished) > 8:
+                shown += f", ... {len(unfinished) - 8} more"
             raise ExperimentError(
-                "sweep worker process died before finishing its cells "
-                "(killed or crashed); rerun with workers=1 to isolate"
+                f"sweep worker process died before finishing its cells "
+                f"(killed or crashed); {len(reports)}/{n_cells} cells "
+                f"completed; unfinished after 1 attempt: {shown}; pass "
+                f"retry=RetryPolicy(...) to run_sweep for automatic "
+                f"resubmission, or rerun with workers=1 to isolate"
             ) from exc
         elapsed = time.monotonic() - started
         logger.info(
@@ -267,3 +398,413 @@ class SweepExecutor:
             n_cells / elapsed if elapsed > 0 else float("inf"),
         )
         return reports, observations
+
+    # ------------------------------------------------------------------
+    # resilient path: checkpoint restore, per-cell retry, quarantine
+    # ------------------------------------------------------------------
+    def _run_resilient(
+        self,
+        points: Sequence[SweepPoint],
+        pending: Sequence[int],
+        seeds: tuple[int, ...],
+        model: BurstFailureModel,
+        n_workers: int,
+        collector: SweepObsCollector | None,
+        results: list[SweepResult | None],
+        stats: SweepRunStats,
+    ) -> ResilientSweepOutcome:
+        policy = self.retry or RetryPolicy()
+        store = (
+            CellStore(self.checkpoint_dir)
+            if self.checkpoint_dir is not None
+            else None
+        )
+        quarantine = Quarantine()
+        with_obs = collector is not None
+        cells: list[Cell] = [
+            ((i, si), points[i], seeds[si])
+            for si in range(len(seeds))
+            for i in pending
+        ]
+        reports: dict[tuple[int, int], SimulationReport] = {}
+        observations: dict[tuple[int, int], CellObs] = {}
+        keys: dict[tuple[int, int], str] = {}
+        if store is not None:
+            for cell_id, point, seed in cells:
+                keys[cell_id] = cell_key(point, seed, model)
+            if self.resume:
+                for cell_id, point, seed in cells:
+                    restored = store.get(keys[cell_id])
+                    if restored is not None:
+                        reports[cell_id] = restored
+                if reports:
+                    logger.info(
+                        "checkpoint resume: restored %d/%d cells from %s",
+                        len(reports),
+                        len(cells),
+                        store.root,
+                    )
+                    if with_obs:
+                        logger.info(
+                            "restored cells were not executed and "
+                            "contribute no metrics/trace to the collector"
+                        )
+
+        remaining = [cell for cell in cells if cell[0] not in reports]
+        if remaining:
+            if n_workers > 1 and len(remaining) > 1 and fork_available():
+                self._execute_resilient(
+                    remaining, model, n_workers, with_obs, policy, store,
+                    keys, stats, quarantine, reports, observations,
+                )
+            else:
+                self._run_cells_inprocess(
+                    remaining, model, with_obs, policy, store,
+                    keys, stats, quarantine, reports, observations,
+                )
+
+        if store is not None:
+            stats.checkpoint_hits = store.hits
+            stats.checkpoint_misses = store.misses
+            stats.checkpoint_corrupt = store.corrupt
+            quarantine.write(store.quarantine_path)
+        if collector is not None:
+            for (i, si), obs in sorted(observations.items()):
+                collector.add_cell(i, si, obs)
+
+        for i in pending:
+            present = [
+                reports[(i, si)]
+                for si in range(len(seeds))
+                if (i, si) in reports
+            ]
+            if not present:
+                logger.warning(
+                    "sweep point %d lost every seed to quarantine; its "
+                    "result is None",
+                    i,
+                )
+                results[i] = None
+                continue
+            result = SweepResult.from_reports(points[i], present)
+            if len(present) == len(seeds):
+                # Only complete points enter the in-memory memo: a
+                # partial average must never masquerade as the real one.
+                _result_cache[(points[i], seeds, model)] = result
+            results[i] = result
+
+        stats.quarantined = len(quarantine)
+        if quarantine:
+            logger.warning(
+                "sweep finished with %d quarantined cells: %s",
+                len(quarantine),
+                sorted(quarantine.cells()),
+            )
+        return ResilientSweepOutcome(results, tuple(quarantine.entries), stats)
+
+    def _submit_cell(
+        self,
+        pool: ProcessPoolExecutor,
+        cell: Cell,
+        model: BurstFailureModel,
+        attempt: int,
+        policy: RetryPolicy,
+        with_obs: bool,
+    ):
+        cell_id, point, seed = cell
+        return pool.submit(
+            _run_cell_task,
+            cell_id,
+            point,
+            seed,
+            model,
+            attempt,
+            self.chaos,
+            policy.cell_timeout_s,
+            with_obs,
+        )
+
+    def _execute_resilient(
+        self,
+        cells: list[Cell],
+        model: BurstFailureModel,
+        n_workers: int,
+        with_obs: bool,
+        policy: RetryPolicy,
+        store: CellStore | None,
+        keys: dict[tuple[int, int], str],
+        stats: SweepRunStats,
+        quarantine: Quarantine,
+        reports: dict[tuple[int, int], SimulationReport],
+        observations: dict[tuple[int, int], CellObs],
+    ) -> None:
+        """Pooled execution with one cell per task.
+
+        A cell that raises is resubmitted (after backoff) into the same
+        pool until it succeeds or exhausts its attempts.  A broken pool
+        loses exactly the unfinished cells: the pool is rebuilt and they
+        are resubmitted with an incremented attempt count; after
+        ``policy.max_pool_rebuilds`` breakages the remaining cells
+        degrade to in-process execution.
+        """
+        ctx = multiprocessing.get_context("fork")
+        attempts = {cell[0]: 0 for cell in cells}
+        queue: list[Cell] = list(cells)
+        n_total = len(cells)
+        started = time.monotonic()
+        last_log = started
+        logger.info(
+            "resilient sweep fan-out: %d cells (one per task) over %d workers",
+            n_total,
+            n_workers,
+        )
+        while queue:
+            pool = ProcessPoolExecutor(
+                max_workers=min(n_workers, len(queue)), mp_context=ctx
+            )
+            future_cells: dict = {}
+            try:
+                for cell in queue:
+                    future_cells[
+                        self._submit_cell(
+                            pool, cell, model, attempts[cell[0]], policy,
+                            with_obs,
+                        )
+                    ] = cell
+                queue = []
+                while future_cells:
+                    done, _ = wait(
+                        set(future_cells), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        # Pop only after a non-breakage outcome: a future
+                        # that surfaces BrokenProcessPool must stay in
+                        # future_cells so its cell is counted as lost.
+                        cell = future_cells[future]
+                        cell_id = cell[0]
+                        try:
+                            _, report, obs = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            del future_cells[future]
+                            attempts[cell_id] += 1
+                            if not self._quarantine_or_backoff(
+                                cell, exc, attempts[cell_id], policy,
+                                quarantine, keys, stats,
+                            ):
+                                stats.retries += 1
+                                count_active("resilience.cell.retries")
+                                future_cells[
+                                    self._submit_cell(
+                                        pool, cell, model,
+                                        attempts[cell_id], policy, with_obs,
+                                    )
+                                ] = cell
+                        else:
+                            del future_cells[future]
+                            self._record_success(
+                                cell, report, obs, store, keys,
+                                stats, reports, observations,
+                            )
+                    now = time.monotonic()
+                    if (
+                        now - last_log >= self.log_interval_s
+                        and stats.cells_computed
+                    ):
+                        last_log = now
+                        elapsed = now - started
+                        rate = stats.cells_computed / elapsed
+                        logger.info(
+                            "resilient sweep progress: %d/%d cells "
+                            "(%.2f cells/s)",
+                            stats.cells_computed,
+                            n_total,
+                            rate,
+                        )
+            except BrokenProcessPool:
+                lost = list(future_cells.values()) + queue
+                stats.pool_rebuilds += 1
+                count_active("resilience.pool.rebuilds")
+                survivors: list[Cell] = []
+                for cell in lost:
+                    cell_id = cell[0]
+                    attempts[cell_id] += 1
+                    crash = ExperimentError(
+                        "worker process died while this cell was "
+                        "in flight (pool breakage)"
+                    )
+                    if not self._quarantine_or_backoff(
+                        cell, crash, attempts[cell_id], policy,
+                        quarantine, keys, stats, wait_backoff=False,
+                    ):
+                        stats.resubmits += 1
+                        count_active("resilience.cell.resubmits")
+                        survivors.append(cell)
+                if not survivors:
+                    return
+                if stats.pool_rebuilds > policy.max_pool_rebuilds:
+                    stats.degraded = True
+                    count_active("resilience.pool.degraded")
+                    logger.warning(
+                        "worker pool broke %d times (> max_pool_rebuilds="
+                        "%d); degrading %d remaining cells to in-process "
+                        "execution",
+                        stats.pool_rebuilds,
+                        policy.max_pool_rebuilds,
+                        len(survivors),
+                    )
+                    self._run_cells_inprocess(
+                        survivors, model, with_obs, policy, store,
+                        keys, stats, quarantine, reports, observations,
+                    )
+                    return
+                logger.warning(
+                    "worker pool broke (rebuild %d/%d); resubmitting %d "
+                    "lost cells",
+                    stats.pool_rebuilds,
+                    policy.max_pool_rebuilds,
+                    len(survivors),
+                )
+                self.sleep(
+                    policy.backoff_s((-1, stats.pool_rebuilds),
+                                     stats.pool_rebuilds)
+                )
+                queue = survivors
+            finally:
+                # wait=True is cheap even for a broken pool (workers are
+                # already dead) and keeps atexit from touching stale fds.
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    def _run_cells_inprocess(
+        self,
+        cells: list[Cell],
+        model: BurstFailureModel,
+        with_obs: bool,
+        policy: RetryPolicy,
+        store: CellStore | None,
+        keys: dict[tuple[int, int], str],
+        stats: SweepRunStats,
+        quarantine: Quarantine,
+        reports: dict[tuple[int, int], SimulationReport],
+        observations: dict[tuple[int, int], CellObs],
+    ) -> None:
+        """In-process execution with the same retry/quarantine contract.
+
+        Serves three roles: resilient serial sweeps (``workers<=1``),
+        platforms without ``fork``, and the degradation target when the
+        pool keeps breaking.  Chaos kills are skipped here by design
+        (see :func:`repro.resilience.inject_pre_cell`).
+        """
+        attempts = {cell[0]: 0 for cell in cells}
+        for cell in cells:
+            cell_id, point, seed = cell
+            while True:
+                attempt = attempts[cell_id]
+                try:
+                    with cell_timeout(policy.cell_timeout_s):
+                        inject_pre_cell(
+                            self.chaos, cell_id, attempt, in_worker=False
+                        )
+                        if with_obs:
+                            report, obs = simulate_cell_obs(point, seed, model)
+                        else:
+                            report = simulate_cell(point, seed, model)
+                            obs = None
+                except Exception as exc:
+                    attempts[cell_id] += 1
+                    if self._quarantine_or_backoff(
+                        cell, exc, attempts[cell_id], policy,
+                        quarantine, keys, stats,
+                    ):
+                        break
+                    stats.retries += 1
+                    count_active("resilience.cell.retries")
+                else:
+                    self._record_success(
+                        cell, report, obs, store, keys,
+                        stats, reports, observations,
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    def _quarantine_or_backoff(
+        self,
+        cell: Cell,
+        exc: BaseException,
+        attempts_done: int,
+        policy: RetryPolicy,
+        quarantine: Quarantine,
+        keys: dict[tuple[int, int], str],
+        stats: SweepRunStats,
+        wait_backoff: bool = True,
+    ) -> bool:
+        """Handle one cell failure; True when the cell was quarantined.
+
+        Otherwise logs, sleeps the deterministic backoff (unless the
+        caller batches the wait, as the pool-rebuild path does) and lets
+        the caller resubmit.
+        """
+        cell_id, _, seed = cell
+        if attempts_done >= policy.max_attempts:
+            quarantine.add(
+                QuarantineEntry(
+                    point_index=cell_id[0],
+                    seed_index=cell_id[1],
+                    seed=seed,
+                    attempts=attempts_done,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    key=keys.get(cell_id),
+                )
+            )
+            count_active("resilience.cell.quarantined")
+            logger.warning(
+                "quarantining poison cell (point %d, seed#%d) after %d "
+                "attempts: %s: %s",
+                cell_id[0],
+                cell_id[1],
+                attempts_done,
+                type(exc).__name__,
+                exc,
+            )
+            return True
+        delay = policy.backoff_s(cell_id, attempts_done)
+        logger.warning(
+            "cell (point %d, seed#%d) failed attempt %d/%d (%s: %s); "
+            "retrying in %.3fs",
+            cell_id[0],
+            cell_id[1],
+            attempts_done,
+            policy.max_attempts,
+            type(exc).__name__,
+            exc,
+            delay,
+        )
+        if wait_backoff:
+            self.sleep(delay)
+        return False
+
+    def _record_success(
+        self,
+        cell: Cell,
+        report: SimulationReport,
+        obs: CellObs | None,
+        store: CellStore | None,
+        keys: dict[tuple[int, int], str],
+        stats: SweepRunStats,
+        reports: dict[tuple[int, int], SimulationReport],
+        observations: dict[tuple[int, int], CellObs],
+    ) -> None:
+        cell_id, _, seed = cell
+        reports[cell_id] = report
+        if obs is not None:
+            observations[cell_id] = obs
+        stats.cells_computed += 1
+        count_active("resilience.cell.computed")
+        if store is not None:
+            path = store.put(
+                keys[cell_id], report, point_index=cell_id[0], seed=seed
+            )
+            if self.chaos is not None and self.chaos.should_corrupt(cell_id):
+                corrupt_checkpoint(path, self.chaos, cell_id)

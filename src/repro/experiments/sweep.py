@@ -270,6 +270,11 @@ def run_sweep(
     failure_model: BurstFailureModel | None = None,
     workers: int | None = None,
     collector: SweepObsCollector | None = None,
+    *,
+    checkpoint_dir=None,
+    retry=None,
+    chaos=None,
+    resume: bool = True,
 ) -> list[SweepResult]:
     """Run every cell of a sweep.
 
@@ -283,19 +288,78 @@ def run_sweep(
     on) and merges them in deterministic cell order — parallel and
     serial sweeps aggregate to identical metrics.  The collector is
     finalized before this function returns.
-    """
-    seeds = tuple(seeds)
-    try:
-        if workers is not None and workers > 1 and len(points) > 0:
-            from repro.experiments.parallel import SweepExecutor
 
-            return SweepExecutor(workers=workers).run(
+    ``checkpoint_dir``/``retry``/``chaos``/``resume`` select the
+    resilient execution path (see :func:`run_sweep_outcome`, which also
+    returns the quarantine and resilience stats).  With resilience on,
+    a result entry is ``None`` only when every seed of that point was
+    quarantined as poison.
+    """
+    return run_sweep_outcome(
+        points,
+        seeds,
+        failure_model,
+        workers,
+        collector,
+        checkpoint_dir=checkpoint_dir,
+        retry=retry,
+        chaos=chaos,
+        resume=resume,
+    ).results
+
+
+def run_sweep_outcome(
+    points: Sequence[SweepPoint],
+    seeds: Iterable[int] = (0, 1, 2),
+    failure_model: BurstFailureModel | None = None,
+    workers: int | None = None,
+    collector: SweepObsCollector | None = None,
+    *,
+    checkpoint_dir=None,
+    retry=None,
+    chaos=None,
+    resume: bool = True,
+):
+    """Run a sweep and return the full
+    :class:`~repro.resilience.ResilientSweepOutcome`.
+
+    The resilient path engages when any of ``checkpoint_dir`` (durable
+    per-cell checkpoints; a killed sweep resumes bitwise-identically),
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`; worker crashes
+    and in-cell exceptions are retried with deterministic backoff, and
+    poison cells are quarantined into ``quarantine.json`` instead of
+    aborting) or ``chaos`` (deterministic fault injection, tests only)
+    is set — with ``workers`` 1 or ``None`` it runs in-process but keeps
+    the full checkpoint/retry contract.
+    """
+    from repro.experiments.parallel import SweepExecutor
+    from repro.resilience import ResilientSweepOutcome
+
+    seeds = tuple(seeds)
+    resilient = (
+        checkpoint_dir is not None
+        or retry is not None
+        or (chaos is not None and chaos.enabled)
+    )
+    try:
+        if len(points) > 0 and (
+            resilient or (workers is not None and workers > 1)
+        ):
+            executor = SweepExecutor(
+                workers=workers if workers is not None else (1 if resilient else None),
+                checkpoint_dir=checkpoint_dir,
+                retry=retry,
+                chaos=chaos,
+                resume=resume,
+            )
+            return executor.run_outcome(
                 points, seeds, failure_model, collector=collector
             )
-        return [
+        results = [
             run_point(p, seeds, failure_model, collector=collector, point_index=i)
             for i, p in enumerate(points)
         ]
+        return ResilientSweepOutcome(results)
     finally:
         if collector is not None:
             collector.finalize()

@@ -290,6 +290,18 @@ class MetricsRegistry:
 ACTIVE: MetricsRegistry | None = None
 
 
+def count_active(name: str, n: float = 1.0) -> None:
+    """Increment a counter on the active registry, if one is installed.
+
+    The one-liner instrumentation sites outside the simulator (the
+    resilience layer, the sweep executor) use: a no-op when profiling is
+    off, so callers never need their own ``is None`` branch.
+    """
+    registry = ACTIVE
+    if registry is not None:
+        registry.counter(name).inc(n)
+
+
 @contextmanager
 def activate(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Install ``registry`` as the active hot-path registry.

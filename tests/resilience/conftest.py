@@ -1,0 +1,48 @@
+"""Shared fixtures for the resilience suite.
+
+Every test here runs sweeps, so the module-level sweep caches are
+isolated exactly as in ``tests/experiments`` (small master failure logs,
+cleared memo caches).  The grids are deliberately tiny — resilience
+semantics are about *which* cells run and what survives, not about
+simulation scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments.sweep as sweep_mod
+from repro.experiments.parallel import fork_available
+from repro.experiments.sweep import SweepPoint
+from repro.resilience import RetryPolicy
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+@pytest.fixture(autouse=True)
+def small_master_log(monkeypatch):
+    """Shrink master failure logs and isolate every sweep-level cache."""
+    monkeypatch.setattr(sweep_mod, "MASTER_FAILURE_COUNT", 64)
+    sweep_mod._result_cache.clear()
+    sweep_mod._master_log_cache.clear()
+    yield
+    sweep_mod._result_cache.clear()
+    sweep_mod._master_log_cache.clear()
+
+
+@pytest.fixture
+def grid():
+    """Two points x two seeds: four cells, two policies."""
+    points = [
+        SweepPoint("nasa", 15, 1.0, 2, "krevat", 0.0),
+        SweepPoint("nasa", 18, 1.0, 3, "balancing", 0.5),
+    ]
+    return points, (0, 1)
+
+
+@pytest.fixture
+def fast_retry():
+    """A RetryPolicy that never sleeps (deterministic tests stay fast)."""
+    return RetryPolicy(base_delay_s=0.0, jitter_fraction=0.0)
