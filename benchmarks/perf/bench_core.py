@@ -55,6 +55,8 @@ D = BGL_SUPERNODE_DIMS
 SHADOW_SIZES = (8, 16, 32, 64, 128)
 #: Sizes the finder benches enumerate per pass.
 FINDER_SIZES = (4, 8, 16, 32)
+#: Sizes the candidate-scoring benches score per pass.
+SCORING_SIZES = (4, 8, 16, 32)
 
 
 @dataclass(frozen=True)
@@ -169,6 +171,30 @@ def bench_mfp_excluding(scale: Scale):
                 index.mfp_excluding(p)
 
     return run, n * len(candidates)
+
+
+def _bench_scored_candidates(scale: Scale, batch: bool):
+    """Full candidate scoring, scalar oracle vs batch kernel.
+
+    A fresh index per pass: both paths cache their per-size results, so
+    reusing one index would time the first iteration only.  The pair
+    feeds ``check_scoring_speedup.py``, which gates on their ratio.
+    The lightly loaded fixture maximises the candidate count — the
+    post-drain machine states where scoring dominates a scheduler pass.
+    """
+    torus = loaded_torus(0.2, seed=3)
+    n = scale.micro_number
+
+    def run():
+        for _ in range(n):
+            index = PlacementIndex(torus)
+            for size in SCORING_SIZES:
+                if batch:
+                    index.batch_mfp_losses(size)
+                else:
+                    index.scored_candidates(size)
+
+    return run, n * len(SCORING_SIZES)
 
 
 def bench_shadow_time_engine(scale: Scale):
@@ -306,6 +332,8 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
     micro = [
         ("placement_index_build", bench_placement_index_build),
         ("mfp_excluding", bench_mfp_excluding),
+        ("scored_candidates_scalar", lambda s: _bench_scored_candidates(s, False)),
+        ("scored_candidates_batch", lambda s: _bench_scored_candidates(s, True)),
         ("shadow_time_engine", bench_shadow_time_engine),
         ("shadow_time_naive", bench_shadow_time_naive),
         ("finder_naive", lambda s: _bench_finder("naive", s)),

@@ -1,0 +1,132 @@
+"""Gate the batch scoring kernel's speedup over the scalar oracle.
+
+Two checks against one fresh ``bench_core`` result file:
+
+1. **Speedup** — within the fresh file,
+   ``scored_candidates_batch / scored_candidates_scalar`` must be at
+   least ``--min-ratio`` (default 2×).  Both benches run in the same
+   process on the same fixture, so the ratio is machine- and
+   scale-independent.
+2. **Non-regression** — the batch rate, normalized by the same file's
+   ``placement_index_build`` rate (the within-file normalizer
+   ``check_trace_overhead.py`` established), must not fall more than
+   ``--tolerance`` below the committed baseline's normalized batch rate.
+   This keeps the speedup from silently eroding in later PRs.  The
+   tolerance is deliberately loose (15%): the ratio check above is the
+   real gate, and reduced-scale CI runs of these benches sit near the
+   noise floor.
+
+Usage::
+
+    python benchmarks/perf/check_scoring_speedup.py \
+        --fresh BENCH_ci.json [--baseline BENCH_core.json] \
+        [--min-ratio 2.0] [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BATCH_BENCH = "scored_candidates_batch"
+SCALAR_BENCH = "scored_candidates_scalar"
+#: Within-file normalizer cancelling machine speed and harness scale.
+REFERENCE_BENCH = "placement_index_build"
+
+
+def load_rates(path: Path) -> dict[str, float]:
+    """Map bench name -> cells_per_s from one bench_core result file."""
+    try:
+        records = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: bench result file not found: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+    rates: dict[str, float] = {}
+    for record in records:
+        rate = record.get("cells_per_s")
+        if isinstance(rate, (int, float)) and rate > 0:
+            rates[record["bench"]] = float(rate)
+    return rates
+
+
+def require(rates: dict[str, float], bench: str, path: Path) -> float:
+    if bench not in rates:
+        sys.exit(
+            f"error: {path} has no {bench!r} benchmark — regenerate it "
+            f"with a bench_core that measures candidate scoring"
+        )
+    return rates[bench]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="bench_core output from the run under test",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="recorded baseline (default: committed BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=2.0,
+        help="required batch/scalar speedup within the fresh file (default 2.0)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="maximum allowed normalized batch-rate regression vs the "
+        "baseline (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_rates(args.fresh)
+    ratio = require(fresh, BATCH_BENCH, args.fresh) / require(
+        fresh, SCALAR_BENCH, args.fresh
+    )
+    print(f"batch/scalar scoring speedup ({args.fresh}): {ratio:.2f}x")
+    if ratio < args.min_ratio:
+        print(
+            f"FAIL: batch kernel is only {ratio:.2f}x the scalar oracle "
+            f"(required {args.min_ratio:.2f}x)"
+        )
+        return 1
+    print(f"OK: speedup >= {args.min_ratio:.2f}x")
+
+    baseline = load_rates(args.baseline)
+    fresh_norm = fresh[BATCH_BENCH] / require(fresh, REFERENCE_BENCH, args.fresh)
+    base_norm = require(baseline, BATCH_BENCH, args.baseline) / require(
+        baseline, REFERENCE_BENCH, args.baseline
+    )
+    regression = (base_norm - fresh_norm) / base_norm
+    print(f"normalized batch rate ({BATCH_BENCH} / {REFERENCE_BENCH}):")
+    print(f"  baseline {args.baseline}: {base_norm:.6g}")
+    print(f"  fresh    {args.fresh}: {fresh_norm:.6g}")
+    print(
+        f"  regression: {regression * 100:+.2f}% "
+        f"(tolerance {args.tolerance * 100:.1f}%)"
+    )
+    if regression > args.tolerance:
+        print(
+            f"FAIL: normalized batch scoring rate is {regression * 100:.2f}% "
+            f"below the recorded baseline"
+        )
+        return 1
+    print("OK: batch scoring rate within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,11 @@ partition of a requested size on the torus:
 :class:`PlacementIndex` builds, for one occupancy state, the free-placement
 grid of *every* shape; it answers MFP queries and the scheduler's
 "MFP after hypothetically placing job J here" queries in near-constant
-time, which is what makes the balancing policy tractable.
+time, which is what makes the balancing policy tractable.  The batch
+scoring surface (:class:`CandidateBatch` /
+:meth:`PlacementIndex.batch_mfp_losses`) scores all candidates of one
+size in a handful of NumPy gathers; :class:`IndexCache` reuses one index
+per machine state across scheduler loop iterations.
 """
 
 from __future__ import annotations
@@ -22,7 +26,13 @@ from repro.allocation.base import PartitionFinder
 from repro.allocation.naive import NaiveFinder
 from repro.allocation.pop import POPFinder
 from repro.allocation.fast import FastFinder
-from repro.allocation.mfp import PlacementIndex, mfp_size, mfp_partition
+from repro.allocation.mfp import (
+    CandidateBatch,
+    IndexCache,
+    PlacementIndex,
+    mfp_size,
+    mfp_partition,
+)
 from repro.allocation.registry import get_finder, available_finders
 
 __all__ = [
@@ -30,6 +40,8 @@ __all__ = [
     "NaiveFinder",
     "POPFinder",
     "FastFinder",
+    "CandidateBatch",
+    "IndexCache",
     "PlacementIndex",
     "mfp_size",
     "mfp_partition",

@@ -8,17 +8,36 @@ partition that large.
 :class:`PlacementIndex` precomputes one wrap-padded integral image of
 the occupancy grid; the free-placement grid of any shape then costs 8
 array slices, and the scheduler's "MFP after hypothetically placing job
-J here" query (:meth:`mfp_excluding`) reduces to scalar box-sum lookups
-on lazily-built per-shape placement integrals: a placement of shape
-``T`` survives partition ``P`` iff its base lies outside the modular box
-of bases whose window would intersect ``P``.
+J here" query (:meth:`mfp_excluding`) reduces to box-sum lookups on
+lazily-built per-shape placement integrals: a placement of shape ``T``
+survives partition ``P`` iff its base lies outside the modular box of
+bases whose window would intersect ``P``.
 
-The index is throw-away: build one per occupancy state (cheap), query it
-many times while evaluating candidate placements, and discard it after
-mutating the torus.
+Candidate scoring comes in two shapes:
+
+* the **batch path** (:meth:`PlacementIndex.batch_mfp_losses`) holds all
+  candidates of one size as a struct-of-arrays
+  (:class:`CandidateBatch`) and scores every candidate against every
+  probe shape with one vectorised modular box-sum gather per
+  (candidate-shape, probe-shape) pair — this is what the policies run;
+* the **scalar path** (:meth:`PlacementIndex.scored_candidates` /
+  :meth:`PlacementIndex.mfp_loss`) walks candidates one Python loop
+  iteration at a time.  It is retained as the independently-simple
+  cross-validation oracle (the same pattern ``shadow_time_naive`` serves
+  for the shadow-time engine) and must stay bitwise-aligned with the
+  batch path — ``tests/allocation/test_batch_scoring.py`` enforces it.
+
+An index answers for the occupancy state it was built on.  Build one per
+machine state and query it many times; :class:`IndexCache` gives the
+scheduler a ``torus.version``-checked handle so consecutive queries
+against an unchanged machine reuse one index (and all its lazy caches)
+instead of rebuilding per loop iteration.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
 
 import numpy as np
 
@@ -29,10 +48,116 @@ from repro.geometry.torus import (
     FREE,
     Torus,
     box_sum_at,
+    stacked_box_sums,
     window_sums_from_integral,
     wrap_pad_integral,
 )
 from repro.obs import metrics as obs_metrics
+
+
+def intersect_window(
+    dims: TorusDims, p_base: Coord, p_shape: Coord, t_shape: Coord
+) -> tuple[Coord, Coord]:
+    """Modular box of ``t_shape``-placement bases intersecting a partition.
+
+    A placement of shape ``T`` based at ``q`` intersects the partition
+    ``(p_base, p_shape)`` iff, on every axis, ``q`` lies in the modular
+    interval ``[p - T + 1, p + P - 1]`` of length ``min(extent,
+    P + T - 1)``.  Returns that box as ``(base, extents)``, ready for
+    one :func:`~repro.geometry.torus.box_sum_at` lookup (or, with
+    ``p_base = (0, 0, 0)``, as the shared offset of a vectorised
+    :func:`~repro.geometry.torus.batch_box_sums` gather).
+
+    This is the single home of the interval arithmetic previously
+    duplicated between ``_intersecting_base_count`` and an inlined copy
+    in ``mfp_excluding``.
+    """
+    return (
+        (
+            (p_base[0] - t_shape[0] + 1) % dims.x,
+            (p_base[1] - t_shape[1] + 1) % dims.y,
+            (p_base[2] - t_shape[2] + 1) % dims.z,
+        ),
+        (
+            min(dims.x, p_shape[0] + t_shape[0] - 1),
+            min(dims.y, p_shape[1] + t_shape[1] - 1),
+            min(dims.z, p_shape[2] + t_shape[2] - 1),
+        ),
+    )
+
+
+class CandidateBatch:
+    """All free partitions of one size, held as struct-of-arrays.
+
+    Candidates are grouped by shape in enumeration order (shape order of
+    :func:`~repro.geometry.shapes.shapes_for_size`, then base order —
+    row-major over ``(x, y, z)``), exactly the order of
+    :meth:`PlacementIndex.candidates`.  Bases along fully-spanned axes
+    are canonicalised to 0 and deduplicated (first occurrence wins), so
+    each node set appears once.  :class:`~repro.geometry.partition.Partition`
+    objects are materialised lazily — only for the winning candidate and
+    for trace records — via :meth:`partition`.
+    """
+
+    __slots__ = ("dims", "shapes", "starts", "bases", "_shape_rows")
+
+    def __init__(
+        self, dims: TorusDims, shapes: tuple[Coord, ...], groups: list[np.ndarray]
+    ) -> None:
+        self.dims = dims
+        self.shapes = shapes
+        starts = [0]
+        for group in groups:
+            starts.append(starts[-1] + group.shape[0])
+        #: Row offsets: group ``g`` occupies rows ``starts[g]:starts[g+1]``.
+        self.starts: tuple[int, ...] = tuple(starts)
+        #: ``(n, 3)`` canonical bases, all groups concatenated.
+        self.bases: np.ndarray = (
+            np.concatenate(groups, axis=0)
+            if groups
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        self._shape_rows: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self.starts[-1]
+
+    def groups(self) -> Iterator[tuple[Coord, slice, np.ndarray]]:
+        """Yield ``(shape, row_slice, bases_view)`` per candidate shape."""
+        for g, shape in enumerate(self.shapes):
+            sl = slice(self.starts[g], self.starts[g + 1])
+            yield shape, sl, self.bases[sl]
+
+    def shape_of(self, i: int) -> Coord:
+        """Shape of candidate row ``i``."""
+        return self.shapes[bisect_right(self.starts, i) - 1]
+
+    def shape_rows(self) -> np.ndarray:
+        """``(n, 3)`` array: the shape of every candidate row (cached)."""
+        rows = self._shape_rows
+        if rows is None:
+            rows = np.empty((len(self), 3), dtype=np.int64)
+            for g, shape in enumerate(self.shapes):
+                rows[self.starts[g] : self.starts[g + 1]] = shape
+            self._shape_rows = rows
+        return rows
+
+    def partition(self, i: int) -> Partition:
+        """Materialise candidate row ``i`` as a :class:`Partition`."""
+        base = self.bases[i]
+        return Partition(
+            (int(base[0]), int(base[1]), int(base[2])), self.shape_of(i)
+        )
+
+    def partitions(self) -> list[Partition]:
+        """Materialise every candidate (enumeration order)."""
+        out: list[Partition] = []
+        for shape, _, bases in self.groups():
+            out.extend(
+                Partition((int(bx), int(by), int(bz)), shape)
+                for bx, by, bz in bases.tolist()
+            )
+        return out
 
 
 class PlacementIndex:
@@ -47,8 +172,13 @@ class PlacementIndex:
         "_totals",
         "_grid_integrals",
         "_mfp_size",
+        "_nonempty_rows",
+        "_scan_pos",
+        "_probe_blocks",
         "_candidate_cache",
         "_scored_cache",
+        "_batch_cache",
+        "_batch_scored_cache",
     )
 
     def __init__(self, torus: Torus) -> None:
@@ -64,8 +194,13 @@ class PlacementIndex:
         self._totals: dict[Coord, int] = {}
         self._grid_integrals: dict[Coord, np.ndarray] = {}
         self._mfp_size: int | None = None
+        self._nonempty_rows: list[tuple[int, Coord, int, np.ndarray]] = []
+        self._scan_pos = 0
+        self._probe_blocks: dict[tuple[int, int], tuple] = {}
         self._candidate_cache: dict[int, list[Partition]] = {}
         self._scored_cache: dict[int, list[tuple[Partition, int]]] = {}
+        self._batch_cache: dict[int, CandidateBatch] = {}
+        self._batch_scored_cache: dict[int, tuple[CandidateBatch, np.ndarray]] = {}
         registry = obs_metrics.ACTIVE
         if registry is not None:
             registry.counter("index.builds").inc()
@@ -99,49 +234,91 @@ class PlacementIndex:
         return self._totals[shape]
 
     # ------------------------------------------------------------------
-    def candidates(self, size: int) -> list[Partition]:
-        """All free partitions of exactly ``size`` nodes, deduplicated.
+    def candidate_batch(self, size: int) -> CandidateBatch:
+        """All free partitions of exactly ``size`` nodes as arrays.
 
-        Bases along fully-spanned axes are canonicalised to 0 so each node
-        set appears once.
+        Same enumeration order and canonical dedup as :meth:`candidates`
+        (which materialises its list from this batch), but the bases stay
+        struct-of-arrays so the batch scoring kernels can gather them
+        without touching Python objects.
         """
-        cached = self._candidate_cache.get(size)
-        if cached is not None:
-            return cached
+        batch = self._batch_cache.get(size)
+        if batch is not None:
+            return batch
         dims = self.dims
-        seen: set[Partition] = set()
-        out: list[Partition] = []
+        dims_shape = dims.as_tuple()
+        shapes: list[Coord] = []
+        groups: list[np.ndarray] = []
         for shape in shapes_for_size(size, dims):
             if self.count_placements(shape) == 0:
                 continue
             grid = self._placements(shape)
-            spans_axis = (
-                shape[0] == dims.x or shape[1] == dims.y or shape[2] == dims.z
-            )
-            for bx, by, bz in np.argwhere(grid):
-                part = Partition((int(bx), int(by), int(bz)), shape)
-                if spans_axis:
-                    # Only full-span shapes can alias node sets across
-                    # bases; everything else is unique as-is.
-                    part = part.canonical(dims)
-                    if part in seen:
-                        continue
-                    seen.add(part)
-                out.append(part)
-        self._candidate_cache[size] = out
-        return out
+            bases = np.stack(
+                np.unravel_index(np.flatnonzero(grid), dims_shape), axis=1
+            ).astype(np.int64, copy=False)
+            if shape[0] == dims.x or shape[1] == dims.y or shape[2] == dims.z:
+                # Only full-span shapes can alias node sets across bases:
+                # pin spanned axes to 0 and keep each node set's first
+                # occurrence (flatnonzero order is row-major, matching
+                # the scalar scan).
+                for axis in range(3):
+                    if shape[axis] == dims_shape[axis]:
+                        bases[:, axis] = 0
+                keys = (bases[:, 0] * dims.y + bases[:, 1]) * dims.z + bases[:, 2]
+                _, first = np.unique(keys, return_index=True)
+                bases = bases[np.sort(first)]
+            shapes.append(shape)
+            groups.append(bases)
+        batch = CandidateBatch(dims, tuple(shapes), groups)
+        self._batch_cache[size] = batch
+        return batch
+
+    def candidates(self, size: int) -> list[Partition]:
+        """All free partitions of exactly ``size`` nodes, deduplicated.
+
+        Bases along fully-spanned axes are canonicalised to 0 so each node
+        set appears once.  Materialised from :meth:`candidate_batch`, so
+        list and batch enumeration can never drift apart.
+        """
+        cached = self._candidate_cache.get(size)
+        if cached is None:
+            cached = self.candidate_batch(size).partitions()
+            self._candidate_cache[size] = cached
+        return cached
 
     def scored_candidates(self, size: int) -> list[tuple[Partition, int]]:
-        """Candidates paired with their ``L_MFP``, cached per size.
+        """Candidates paired with their ``L_MFP`` via the *scalar* path.
 
-        Several same-size jobs scanned in one backfill pass share this
-        work — the machine state (and hence every loss) is identical
-        until something is dispatched.
+        This is the cross-validation oracle for
+        :meth:`batch_mfp_losses`: every loss comes from an independent
+        per-candidate :meth:`mfp_loss` walk.  Cached per size — several
+        same-size jobs scanned in one backfill pass share this work.
         """
         cached = self._scored_cache.get(size)
         if cached is None:
             cached = [(p, self.mfp_loss(p)) for p in self.candidates(size)]
             self._scored_cache[size] = cached
+        return cached
+
+    def batch_mfp_losses(self, size: int) -> tuple[CandidateBatch, np.ndarray]:
+        """Every candidate of ``size`` with its ``L_MFP``, vectorised.
+
+        Returns ``(batch, losses)`` where ``losses[i]`` is the MFP
+        shrinkage caused by allocating ``batch.partition(i)`` — aligned
+        with, and bitwise equal to, ``scored_candidates(size)``.  Cached
+        per size, like the scalar form.
+        """
+        cached = self._batch_scored_cache.get(size)
+        if cached is None:
+            batch = self.candidate_batch(size)
+            # One resolve for the whole size: candidates of every shape
+            # share the probe blocks, so mixing shapes costs nothing and
+            # keeps the per-block gathers large.
+            losses = self.mfp_size() - self._batch_excluding(
+                batch.bases, batch.shape_rows()
+            )
+            cached = (batch, losses)
+            self._batch_scored_cache[size] = cached
         return cached
 
     def has_candidate(self, size: int) -> bool:
@@ -166,46 +343,86 @@ class PlacementIndex:
         """One witness maximal free partition, or None on a full machine."""
         for shape in self._shape_order:
             if self.count_placements(shape) > 0:
-                bx, by, bz = np.argwhere(self._placements(shape))[0]
-                return Partition((int(bx), int(by), int(bz)), shape)
+                grid = self._placements(shape)
+                # First-hit lookup: argmax short-circuits at the first
+                # True base — no (n, 3) argwhere materialisation.
+                base = np.unravel_index(int(grid.argmax()), grid.shape)
+                return Partition(
+                    (int(base[0]), int(base[1]), int(base[2])), shape
+                )
         return None
 
     # ------------------------------------------------------------------
     def _intersecting_base_count(self, shape: Coord, partition: Partition) -> int:
         """Number of free placements of ``shape`` whose box intersects
-        ``partition``.
-
-        A placement based at ``q`` intersects iff, on every axis,
-        ``q`` lies in the modular interval ``[p - T + 1, p + P - 1]`` of
-        length ``min(extent, P + T - 1)``; the count is one box-sum
-        lookup on the placement-grid integral.
+        ``partition`` — one box-sum lookup on the placement-grid integral
+        over the :func:`intersect_window` box.
         """
-        base = []
-        extents = []
-        for axis in range(3):
-            extent = self.dims[axis]
-            length = min(extent, partition.shape[axis] + shape[axis] - 1)
-            base.append((partition.base[axis] - shape[axis] + 1) % extent)
-            extents.append(length)
-        return box_sum_at(
-            self._placement_integral(shape),
-            (base[0], base[1], base[2]),
-            (extents[0], extents[1], extents[2]),
+        base, extents = intersect_window(
+            self.dims, partition.base, partition.shape, shape
         )
+        return box_sum_at(self._placement_integral(shape), base, extents)
+
+    def _ensure_rows(self, count: int) -> list[tuple[int, Coord, int, np.ndarray]]:
+        """Materialise at least ``count`` non-empty probe rows.
+
+        Rows are ``(volume, shape, total, placement_integral)`` in
+        decreasing-volume order.  They memoise as the all-shapes scan
+        first reaches them, and the scan resumes where earlier calls
+        stopped — every ``mfp_excluding`` query walks this list from the
+        top, and re-deriving the prefix per query (a dict lookup per
+        shape, including the many empty shapes between non-empty rows)
+        was the single hottest line of the scalar scoring path.
+        Returns the full row list, which may stay shorter than ``count``
+        once the scan is exhausted.
+        """
+        rows = self._nonempty_rows
+        order = self._shape_order
+        while len(rows) < count and self._scan_pos < len(order):
+            shape = order[self._scan_pos]
+            self._scan_pos += 1
+            if self.count_placements(shape) > 0:
+                rows.append(
+                    (
+                        shape[0] * shape[1] * shape[2],
+                        shape,
+                        self._totals[shape],
+                        self._placement_integral(shape),
+                    )
+                )
+        return rows
 
     def _iter_nonempty_shapes(self):
-        """Yield ``(volume, shape, total, placement_integral)`` rows for
-        shapes with free placements, decreasing volume; integrals build
-        lazily because the caller usually stops after the first rows."""
-        for shape in self._shape_order:
-            total = self.count_placements(shape)
-            if total > 0:
-                yield (
-                    shape[0] * shape[1] * shape[2],
-                    shape,
-                    total,
-                    self._placement_integral(shape),
-                )
+        """Yield the probe rows of :meth:`_ensure_rows` lazily."""
+        i = 0
+        while True:
+            rows = self._ensure_rows(i + 1)
+            if i >= len(rows):
+                return
+            yield rows[i]
+            i += 1
+
+    def _probe_block(self, k0: int, k1: int) -> tuple:
+        """Probe rows ``[k0, k1)`` as stacked arrays for one gather.
+
+        Returns ``(volumes, t_shapes, totals, integrals)`` with the
+        integral images stacked along a leading axis, ready for
+        :func:`~repro.geometry.torus.stacked_box_sums`.  Cached per
+        index — block boundaries are deterministic, so every size's
+        scoring pass reuses the same stacks.
+        """
+        key = (k0, k1)
+        block = self._probe_blocks.get(key)
+        if block is None:
+            rows = self._nonempty_rows[k0:k1]
+            block = (
+                np.array([r[0] for r in rows], dtype=np.int64),
+                np.array([r[1] for r in rows], dtype=np.int64),
+                np.array([r[2] for r in rows], dtype=np.int64),
+                np.stack([r[3] for r in rows]),
+            )
+            self._probe_blocks[key] = block
+        return block
 
     def mfp_excluding(self, partition: Partition) -> int:
         """MFP size after hypothetically allocating ``partition``.
@@ -213,36 +430,127 @@ class PlacementIndex:
         Equivalent to allocating, rebuilding the index and asking
         :meth:`mfp_size`, but costs scalar lookups instead of a rebuild.
         """
+        return self._mfp_excluding_at(partition.base, partition.shape)
+
+    def _mfp_excluding_at(self, p_base: Coord, p_shape: Coord) -> int:
+        """Scalar :meth:`mfp_excluding` walk on raw base/shape tuples."""
         dims = self.dims
-        p_base = partition.base
-        p_shape = partition.shape
         for volume, shape, total, integral in self._iter_nonempty_shapes():
-            # Placements whose box intersects `partition` have bases in a
-            # modular box of extents min(axis, P+T-1) starting at
-            # p - T + 1; one scalar lookup counts them.
-            x0 = (p_base[0] - shape[0] + 1) % dims.x
-            y0 = (p_base[1] - shape[1] + 1) % dims.y
-            z0 = (p_base[2] - shape[2] + 1) % dims.z
-            ex = min(dims.x, p_shape[0] + shape[0] - 1)
-            ey = min(dims.y, p_shape[1] + shape[1] - 1)
-            ez = min(dims.z, p_shape[2] + shape[2] - 1)
-            intersecting = (
-                integral[x0 + ex, y0 + ey, z0 + ez]
-                - integral[x0, y0 + ey, z0 + ez]
-                - integral[x0 + ex, y0, z0 + ez]
-                - integral[x0 + ex, y0 + ey, z0]
-                + integral[x0, y0, z0 + ez]
-                + integral[x0, y0 + ey, z0]
-                + integral[x0 + ex, y0, z0]
-                - integral[x0, y0, z0]
-            )
-            if total > intersecting:
+            base, extents = intersect_window(dims, p_base, p_shape, shape)
+            if total > box_sum_at(integral, base, extents):
                 return volume
         return 0
+
+    #: First probe-block size; blocks then double.  Most candidates
+    #: resolve within the first few probe shapes, so the first block is
+    #: small; stragglers pay one geometrically larger gather each.
+    _PROBE_BLOCK = 4
+    #: Below this many candidates the batch kernel delegates to the
+    #: scalar walk — a stacked gather's fixed dispatch cost only pays
+    #: for itself on bigger groups.
+    _SCALAR_CUTOVER = 24
+
+    def batch_mfp_excluding(self, bases: np.ndarray, shape: Coord) -> np.ndarray:
+        """:meth:`mfp_excluding` for many same-shape candidates at once.
+
+        ``bases`` is an ``(n, 3)`` integer array of candidate bases (any
+        integers; wrapped into the primary cell here).
+        """
+        shape_arr = np.array(shape, dtype=np.int64)
+        return self._batch_excluding(
+            bases, np.broadcast_to(shape_arr, (bases.shape[0], 3))
+        )
+
+    def _batch_excluding(
+        self, bases: np.ndarray, cand_shapes: np.ndarray
+    ) -> np.ndarray:
+        """``mfp_excluding`` for ``n`` candidates, each with its own shape.
+
+        Probe shapes are scanned in decreasing-volume order in
+        geometrically growing blocks: each block resolves every
+        still-unresolved candidate against all its probe shapes in one
+        :func:`~repro.geometry.torus.stacked_box_sums` gather, and a
+        candidate's answer is the *first* surviving row — the aggregate
+        of the scalar path's per-candidate early exit, at eight fancy
+        lookups per block instead of eight per probe shape.  Small
+        candidate sets short-circuit to the scalar walk, which beats the
+        gathers' fixed numpy dispatch cost there; both branches return
+        identical values (the batch property suite covers both).
+        """
+        n = bases.shape[0]
+        excl = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return excl
+        dims = self.dims
+        dims_arr = np.array(dims.as_tuple(), dtype=np.int64)
+        if n < self._SCALAR_CUTOVER:
+            wrapped = (bases % dims_arr).tolist()
+            shapes = cand_shapes.tolist()
+            for j, (base, shape) in enumerate(zip(wrapped, shapes)):
+                excl[j] = self._mfp_excluding_at(tuple(base), tuple(shape))
+            return excl
+        # Only unresolved candidates stay in the gather: most resolve in
+        # the first block, so the per-block work shrinks fast.
+        active = np.arange(n)
+        act_bases = bases % dims_arr
+        act_shapes = cand_shapes
+        k0, span = 0, self._PROBE_BLOCK
+        while active.size:
+            k1 = min(len(self._ensure_rows(k0 + span)), k0 + span)
+            if k1 <= k0:
+                break  # probes exhausted: leftovers drop the MFP to 0
+            volumes, t_shapes, totals, integrals = self._probe_block(k0, k1)
+            # The modular-interval boxes of ``intersect_window``, all
+            # (probe shape, candidate) pairs at once, anchored at the
+            # origin so one offset row serves every candidate base.
+            origin = (1 - t_shapes) % dims_arr                      # (k, 3)
+            extents = np.minimum(                                   # (k, n, 3)
+                dims_arr, act_shapes[None, :, :] + t_shapes[:, None, :] - 1
+            )
+            x = (act_bases[None, :, 0] + origin[:, 0:1]) % dims_arr[0]
+            y = (act_bases[None, :, 1] + origin[:, 1:2]) % dims_arr[1]
+            z = (act_bases[None, :, 2] + origin[:, 2:3]) % dims_arr[2]
+            counts = stacked_box_sums(integrals, x, y, z, extents)
+            survive = counts < totals[:, None]                      # (k, n)
+            resolved = survive.any(axis=0)
+            if resolved.any():
+                # argmax finds the first surviving (largest-volume) row.
+                first = np.argmax(survive, axis=0)
+                excl[active[resolved]] = volumes[first[resolved]]
+                keep = ~resolved
+                active = active[keep]
+                act_bases = act_bases[keep]
+                act_shapes = act_shapes[keep]
+            k0, span = k1, span * 2
+        return excl
 
     def mfp_loss(self, partition: Partition) -> int:
         """``L_MFP``: MFP shrinkage caused by allocating ``partition``."""
         return self.mfp_size() - self.mfp_excluding(partition)
+
+
+class IndexCache:
+    """``torus.version``-checked reuse of one :class:`PlacementIndex`.
+
+    The scheduler's inner loops (dispatch scan, backfill probes,
+    migration planning) repeatedly need "the index for the current
+    machine state".  Building one per loop iteration discards every lazy
+    placement grid and score cache the previous iteration warmed; this
+    handle rebuilds only when the torus actually mutated.
+    """
+
+    __slots__ = ("torus", "_index")
+
+    def __init__(self, torus: Torus) -> None:
+        self.torus = torus
+        self._index: PlacementIndex | None = None
+
+    def get(self) -> PlacementIndex:
+        """The index for the torus's current state (rebuilt on demand)."""
+        index = self._index
+        if index is None or index.torus_version != self.torus.version:
+            index = self._index = PlacementIndex(self.torus)
+        return index
 
 
 # ----------------------------------------------------------------------

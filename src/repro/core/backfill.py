@@ -32,7 +32,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.allocation.mfp import PlacementIndex
+from repro.allocation.mfp import IndexCache, PlacementIndex
 from repro.core.jobstate import JobState
 from repro.geometry.shapes import shapes_for_size
 from repro.obs import metrics as obs_metrics
@@ -88,13 +88,17 @@ class ShadowTimeEngine:
     ``est_finish`` and bumps ``torus.version`` before the next query.
     """
 
-    __slots__ = ("torus", "_busy", "_fit_times", "_cache_version")
+    __slots__ = ("torus", "_busy", "_fit_times", "_cache_version", "_index_cache")
 
-    def __init__(self, torus: Torus) -> None:
+    def __init__(self, torus: Torus, index_cache: IndexCache | None = None) -> None:
         self.torus = torus
         self._busy = np.empty(torus.dims.as_tuple(), dtype=np.int64)
         self._fit_times: dict[int, float] = {}
         self._cache_version = -1
+        # Optional shared placement index (the simulator passes its own):
+        # the "fits right now" probe then reuses the scheduler pass's
+        # index instead of building throwaway integral images.
+        self._index_cache = index_cache
 
     def shadow_time(
         self, running: Iterable[JobState], head_size: int, now: float
@@ -135,8 +139,17 @@ class ShadowTimeEngine:
         busy = self._busy
         busy[...] = torus.grid != FREE
         free_now = dims.volume - int(busy.sum())
-        if free_now >= head_size and _has_free_box(busy, dims_shape, shapes):
-            return -math.inf
+        if free_now >= head_size:
+            if self._index_cache is not None:
+                # Same answer as ``_has_free_box`` on the mirrored grid —
+                # ``has_candidate`` asks the identical "any all-free
+                # wrap-around placement of any shape of this size"
+                # question — but against the scheduler pass's index.
+                fits = self._index_cache.get().has_candidate(head_size)
+            else:
+                fits = _has_free_box(busy, dims_shape, shapes)
+            if fits:
+                return -math.inf
         ordered = sorted(
             (js for js in running if js.running),
             key=lambda js: (js.est_finish, js.job_id),

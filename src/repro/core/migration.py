@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.allocation.mfp import PlacementIndex
+import numpy as np
+
+from repro.allocation.mfp import IndexCache
 from repro.core.jobstate import JobState
 from repro.geometry.partition import Partition
 from repro.geometry.torus import Torus
@@ -61,17 +63,14 @@ def plan_compaction(
         key=lambda js: (-js.size, js.job.arrival, js.job_id),
     )
     scratch = Torus(torus.dims)
+    cache = IndexCache(scratch)
     placements: list[tuple[int, Partition]] = []
     for js in todo:
-        index = PlacementIndex(scratch)
-        best: Partition | None = None
-        best_loss = None
-        for candidate in index.candidates(js.size):
-            loss = index.mfp_loss(candidate)
-            if best_loss is None or loss < best_loss:
-                best, best_loss = candidate, loss
-        if best is None:
+        # First-occurrence argmin == the old strict-`<` keep-first walk.
+        batch, losses = cache.get().batch_mfp_losses(js.size)
+        if not len(batch):
             return None
+        best = batch.partition(int(np.argmin(losses)))
         scratch.allocate(js.job_id, best)
         placements.append((js.job_id, best))
     # Canonical comparison: a full-axis-span partition re-placed under a

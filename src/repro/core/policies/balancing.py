@@ -14,9 +14,20 @@ order.
 
 With confidence 0 every ``P_f`` is 0 and the policy degenerates exactly
 to the Krevat baseline — the sweeps' ``a = 0`` point.
+
+The production path is fully batch: one MFP kernel call for every
+``L_MFP``, one predictor gather per candidate shape for every ``P_f``,
+and a two-stage lexicographic argmin whose tie order provably matches
+the scalar walk's ``(e_loss, p_f, enumeration-order)`` keys — the
+minimum ``e_loss`` is found by exact float comparison, the tied subset
+is reduced by first-occurrence ``argmin`` on ``p_f``, and both paths
+compute ``e_loss`` with the identical two IEEE operations
+(``p_f * s_j`` then ``l_mfp + ·``), so equal keys are equal bitwise.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.allocation.mfp import PlacementIndex
 from repro.core.jobstate import JobState
@@ -39,33 +50,50 @@ class BalancingPolicy(SchedulingPolicy):
     def choose_partition(
         self, index: PlacementIndex, state: JobState, now: float
     ) -> Partition | None:
-        scored, _ = self.min_loss_candidates(index, state.size)
-        if not scored:
+        batch, losses = self.batch_scored(index, state.size)
+        if not len(batch):
             if self.recorder.enabled:
                 self.trace_decision(state, now, [], 0, None)
             return None
         window_end = now + max(state.remaining_estimate, 1.0)
+        probs = np.empty(len(batch), dtype=np.float64)
+        for shape, sl, bases in batch.groups():
+            probs[sl] = self.predictor.partition_failure_probabilities(
+                bases, shape, index.dims, now, window_end
+            )
+        e_loss = losses + probs * state.size
+        tied = np.flatnonzero(e_loss == e_loss.min())
+        winner = int(tied[int(np.argmin(probs[tied]))])
+        chosen = batch.partition(winner)
+        if self.recorder.enabled:
+            considered = [
+                self.describe_candidate(
+                    batch.partition(i),
+                    l_mfp=int(losses[i]),
+                    p_f=float(probs[i]),
+                    l_pf=float(probs[i]) * state.size,
+                    e_loss=float(e_loss[i]),
+                )
+                for i in range(len(batch))
+            ]
+            self.trace_decision(state, now, considered, len(batch), chosen)
+        return chosen
+
+    def choose_partition_scalar(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        """Per-candidate scalar walk — the cross-validation oracle."""
+        scored, _ = self.min_loss_candidates(index, state.size)
+        if not scored:
+            return None
+        window_end = now + max(state.remaining_estimate, 1.0)
         best: Partition | None = None
         best_key: tuple[float, float] | None = None
-        considered: list[dict] | None = [] if self.recorder.enabled else None
         for partition, mfp_loss in scored:
             p_f = self.predictor.partition_failure_probability(
                 partition, index.dims, now, window_end
             )
-            e_loss = mfp_loss + p_f * state.size
-            if considered is not None:
-                considered.append(
-                    self.describe_candidate(
-                        partition,
-                        l_mfp=int(mfp_loss),
-                        p_f=p_f,
-                        l_pf=p_f * state.size,
-                        e_loss=e_loss,
-                    )
-                )
-            key = (e_loss, p_f)
+            key = (mfp_loss + p_f * state.size, p_f)
             if best_key is None or key < best_key:
                 best, best_key = partition, key
-        if considered is not None:
-            self.trace_decision(state, now, considered, len(scored), best)
         return best

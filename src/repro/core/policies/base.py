@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import abc
 
-from repro.allocation.mfp import PlacementIndex
+import numpy as np
+
+from repro.allocation.mfp import CandidateBatch, PlacementIndex
 from repro.core.jobstate import JobState
 from repro.geometry.partition import Partition
 from repro.obs import metrics as obs_metrics
@@ -46,14 +48,30 @@ class SchedulingPolicy(abc.ABC):
 
     # ------------------------------------------------------------------
     @staticmethod
+    def batch_scored(
+        index: PlacementIndex, size: int
+    ) -> tuple[CandidateBatch, np.ndarray]:
+        """All candidates of ``size`` with batch-kernel ``L_MFP`` scores.
+
+        Shared by every policy's production path: the Krevat heuristic
+        prefers minimal MFP loss, and both fault-aware policies start
+        from the same scored batch.
+        """
+        batch, losses = index.batch_mfp_losses(size)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.histogram("policy.candidate_set_size").observe(len(batch))
+        return batch, losses
+
+    @staticmethod
     def min_loss_candidates(
         index: PlacementIndex, size: int
     ) -> tuple[list[tuple[Partition, int]], int]:
         """All candidates paired with their ``L_MFP``, plus the minimum.
 
-        Shared by every policy: the Krevat heuristic prefers minimal MFP
-        loss, and both fault-aware policies start from the same scored
-        list.
+        Scalar counterpart of :meth:`batch_scored`, retained as the
+        cross-validation oracle behind every policy's
+        ``choose_partition_scalar``.
         """
         scored = index.scored_candidates(size)
         registry = obs_metrics.ACTIVE

@@ -5,9 +5,16 @@ allocation least reduces the maximal free partition (smallest
 ``L_MFP``), preserving room for the next job in the queue.  Ties break
 deterministically on the finder's enumeration order (shape order, then
 base order) so runs are reproducible.
+
+The production path scores the whole candidate set with the batch MFP
+kernel and picks the winner with one first-occurrence ``argmin`` — the
+same partition the retained scalar walk (``choose_partition_scalar``)
+selects, which the batch-vs-scalar property suite enforces.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.allocation.mfp import PlacementIndex
 from repro.core.jobstate import JobState
@@ -23,20 +30,30 @@ class KrevatPolicy(SchedulingPolicy):
     def choose_partition(
         self, index: PlacementIndex, state: JobState, now: float
     ) -> Partition | None:
-        scored, min_loss = self.min_loss_candidates(index, state.size)
-        if not scored:
+        batch, losses = self.batch_scored(index, state.size)
+        if not len(batch):
             if self.recorder.enabled:
                 self.trace_decision(state, now, [], 0, None)
             return None
-        chosen: Partition | None = None
-        for partition, loss in scored:
-            if loss == min_loss:
-                chosen = partition
-                break
+        # np.argmin returns the first occurrence of the minimum — exactly
+        # the scalar walk's "first candidate at min loss" tie order.
+        chosen = batch.partition(int(np.argmin(losses)))
         if self.recorder.enabled:
             considered = [
-                self.describe_candidate(partition, l_mfp=int(loss))
-                for partition, loss in scored
+                self.describe_candidate(batch.partition(i), l_mfp=int(losses[i]))
+                for i in range(len(batch))
             ]
-            self.trace_decision(state, now, considered, len(scored), chosen)
+            self.trace_decision(state, now, considered, len(batch), chosen)
         return chosen
+
+    def choose_partition_scalar(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        """Per-candidate scalar walk — the cross-validation oracle."""
+        scored, min_loss = self.min_loss_candidates(index, state.size)
+        if not scored:
+            return None
+        for partition, loss in scored:
+            if loss == min_loss:
+                return partition
+        return None  # pragma: no cover - min_loss comes from scored

@@ -10,9 +10,19 @@ the paper specifies.
 Unlike the balancing policy this never trades free space for stability:
 with accuracy 0 (or no upcoming failures) it is bit-for-bit the Krevat
 baseline.
+
+The production path batches: tied candidates are gathered per shape and
+put to the predictor in one vectorised query each, then the winner is
+the first unpredicted tied candidate (first tied overall as fallback) —
+the same choice as the retained scalar walk.  The batch path may query
+the predictor for tied candidates the scalar walk's early exit skips;
+that is observationally free, because per-node responses are drawn once
+per window, not per query.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.allocation.mfp import PlacementIndex
 from repro.core.jobstate import JobState
@@ -35,34 +45,64 @@ class TieBreakPolicy(SchedulingPolicy):
     def choose_partition(
         self, index: PlacementIndex, state: JobState, now: float
     ) -> Partition | None:
-        scored, min_loss = self.min_loss_candidates(index, state.size)
-        if not scored:
+        batch, losses = self.batch_scored(index, state.size)
+        if not len(batch):
             if self.recorder.enabled:
                 self.trace_decision(state, now, [], 0, None)
             return None
         window_end = now + max(state.remaining_estimate, 1.0)
+        tied = np.flatnonzero(losses == losses.min())
+        predicted = np.empty(tied.size, dtype=bool)
+        for shape, sl, bases in batch.groups():
+            # ``tied`` is ascending, so this group's members are one
+            # contiguous run of it.
+            lo = int(np.searchsorted(tied, sl.start))
+            hi = int(np.searchsorted(tied, sl.stop))
+            if hi > lo:
+                predicted[lo:hi] = self.predictor.predict_failures(
+                    bases[tied[lo:hi] - sl.start],
+                    shape,
+                    index.dims,
+                    now,
+                    window_end,
+                )
+        unpredicted = np.flatnonzero(~predicted)
+        if unpredicted.size:
+            pick = int(unpredicted[0])
+        else:
+            pick = 0  # every tied candidate predicted to fail: first wins
+        chosen = batch.partition(int(tied[pick]))
+        if self.recorder.enabled:
+            # The scalar walk examines tied candidates up to and
+            # including the first unpredicted one; mirror that.
+            last = int(unpredicted[0]) if unpredicted.size else tied.size - 1
+            considered = [
+                self.describe_candidate(
+                    batch.partition(int(tied[k])),
+                    l_mfp=int(losses[tied[k]]),
+                    predicted_failure=bool(predicted[k]),
+                )
+                for k in range(last + 1)
+            ]
+            self.trace_decision(state, now, considered, len(batch), chosen)
+        return chosen
+
+    def choose_partition_scalar(
+        self, index: PlacementIndex, state: JobState, now: float
+    ) -> Partition | None:
+        """Per-candidate scalar walk — the cross-validation oracle."""
+        scored, min_loss = self.min_loss_candidates(index, state.size)
+        if not scored:
+            return None
+        window_end = now + max(state.remaining_estimate, 1.0)
         fallback: Partition | None = None
-        considered: list[dict] | None = [] if self.recorder.enabled else None
-        chosen: Partition | None = None
         for partition, loss in scored:
             if loss != min_loss:
                 continue
             if fallback is None:
                 fallback = partition
-            predicted = self.predictor.predicts_failure(
+            if not self.predictor.predicts_failure(
                 partition, index.dims, now, window_end
-            )
-            if considered is not None:
-                considered.append(
-                    self.describe_candidate(
-                        partition, l_mfp=int(loss), predicted_failure=predicted
-                    )
-                )
-            if not predicted:
-                chosen = partition
-                break
-        if chosen is None:
-            chosen = fallback
-        if considered is not None:
-            self.trace_decision(state, now, considered, len(scored), chosen)
-        return chosen
+            ):
+                return partition
+        return fallback

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.allocation.mfp import PlacementIndex
+from repro.allocation.mfp import IndexCache, PlacementIndex
 from repro.checkpoint.model import CheckpointModel
 from repro.errors import SimulationError
 from repro.failures.events import FailureLog
@@ -107,7 +107,8 @@ class Simulator:
         self._completed = 0
         self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
         self._running_ids: set[int] = set()
-        self._shadow = ShadowTimeEngine(self.torus)
+        self._index_cache = IndexCache(self.torus)
+        self._shadow = ShadowTimeEngine(self.torus, index_cache=self._index_cache)
 
         for job in workload.jobs:
             self.events.push(job.arrival, EventKind.ARRIVAL, job.job_id)
@@ -264,7 +265,11 @@ class Simulator:
             self.metrics.counter("sim.scheduler_passes").inc()
         self.policy.begin_pass(now)
         while self.wait:
-            index = PlacementIndex(self.torus)
+            # Version-checked reuse: loop iterations that did not mutate
+            # the torus (choose → dispatch bumps the version; a failed
+            # choose does not) share one index, as do back-to-back
+            # scheduler passes over an unchanged machine.
+            index = self._index_cache.get()
             head = self.wait.head()
             partition = self.policy.choose_partition(index, head, now)
             if partition is not None:

@@ -95,3 +95,27 @@ class BalancingPredictor(Predictor):
             self._integral(dims, t0, t1), partition, dims
         )
         return combine_probabilities(self.confidence, flagged, self.rule)
+
+    def partition_failure_probabilities(
+        self, bases: np.ndarray, shape, dims: TorusDims, t0: float, t1: float
+    ) -> np.ndarray:
+        """Batch ``P_f``: one gather for the flagged counts, then one
+        scalar :func:`combine_probabilities` per *distinct* count.
+
+        Going through the scalar combiner (counts are tiny integers, so
+        distinct values are few) keeps the batch path bitwise equal to
+        the scalar one even for the complement-product rule, where a
+        vectorised power could round differently than Python's ``**``.
+        """
+        if self.confidence == 0.0:
+            return np.zeros(bases.shape[0], dtype=np.float64)
+        counts = self.counts_in_partitions(
+            self._integral(dims, t0, t1), bases, shape, dims
+        )
+        probs = np.zeros(bases.shape[0], dtype=np.float64)
+        for count in np.unique(counts):
+            if count > 0:
+                probs[counts == count] = combine_probabilities(
+                    self.confidence, int(count), self.rule
+                )
+        return probs

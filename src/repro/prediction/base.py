@@ -66,6 +66,56 @@ class Predictor(abc.ABC):
         """Boolean form: does the predictor expect the partition to fail?"""
         return self.partition_failure_probability(partition, dims, t0, t1) > 0.0
 
+    # ------------------------------------------------------------------
+    # batch surface (candidate scoring hot path)
+    # ------------------------------------------------------------------
+    def partition_failure_probabilities(
+        self,
+        bases: np.ndarray,
+        shape: tuple[int, int, int],
+        dims: TorusDims,
+        t0: float,
+        t1: float,
+    ) -> np.ndarray:
+        """``P_f`` for many same-shape candidate partitions at once.
+
+        ``bases`` is an ``(n, 3)`` integer array of partition bases; the
+        result is the ``(n,)`` float array of per-candidate failure
+        probabilities, bitwise equal to ``n`` scalar
+        :meth:`partition_failure_probability` calls.  This default loops
+        the scalar form (correct for any predictor); the log-peeking
+        predictors override it with one vectorised box-sum gather on
+        their flagged-node integral.
+        """
+        return np.array(
+            [
+                self.partition_failure_probability(
+                    Partition((int(b[0]), int(b[1]), int(b[2])), shape),
+                    dims,
+                    t0,
+                    t1,
+                )
+                for b in bases
+            ],
+            dtype=np.float64,
+        )
+
+    def predict_failures(
+        self,
+        bases: np.ndarray,
+        shape: tuple[int, int, int],
+        dims: TorusDims,
+        t0: float,
+        t1: float,
+    ) -> np.ndarray:
+        """Boolean batch form of :meth:`predicts_failure`.
+
+        Default derives from :meth:`partition_failure_probabilities`
+        (``> 0``), mirroring the scalar default; the tie-breaking
+        predictor overrides both with its reported-failure integral.
+        """
+        return self.partition_failure_probabilities(bases, shape, dims, t0, t1) > 0.0
+
     @staticmethod
     def _flagged_in_partition(
         mask: np.ndarray, partition: Partition, dims: TorusDims
@@ -86,3 +136,17 @@ class Predictor(abc.ABC):
         return box_sum_at(
             integral, dims.wrap(partition.base), partition.shape
         )
+
+    @staticmethod
+    def counts_in_partitions(
+        integral: np.ndarray,
+        bases: np.ndarray,
+        shape: tuple[int, int, int],
+        dims: TorusDims,
+    ) -> np.ndarray:
+        """Flagged-node counts for many same-shape partitions: one
+        vectorised gather on the wrap-pad integral."""
+        from repro.geometry.torus import batch_box_sums
+
+        dims_arr = np.array(dims.as_tuple(), dtype=np.int64)
+        return batch_box_sums(integral, bases % dims_arr, shape)

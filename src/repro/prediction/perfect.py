@@ -6,6 +6,8 @@ packaged explicitly because examples and ablations use them directly.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.failures.events import FailureLog
 from repro.geometry.coords import TorusDims
 from repro.geometry.partition import Partition
@@ -36,3 +38,13 @@ class NullPredictor(Predictor):
         self, partition: Partition, dims: TorusDims, t0: float, t1: float
     ) -> bool:
         return False
+
+    def partition_failure_probabilities(
+        self, bases: np.ndarray, shape, dims: TorusDims, t0: float, t1: float
+    ) -> np.ndarray:
+        return np.zeros(bases.shape[0], dtype=np.float64)
+
+    def predict_failures(
+        self, bases: np.ndarray, shape, dims: TorusDims, t0: float, t1: float
+    ) -> np.ndarray:
+        return np.zeros(bases.shape[0], dtype=bool)

@@ -96,3 +96,24 @@ class TieBreakPredictor(Predictor):
     ) -> float:
         """Degenerate probability view: 1.0 when predicted to fail."""
         return 1.0 if self.predicts_failure(partition, dims, t0, t1) else 0.0
+
+    def predict_failures(
+        self, bases: np.ndarray, shape, dims: TorusDims, t0: float, t1: float
+    ) -> np.ndarray:
+        """Batch boolean responses: one gather on the reported integral.
+
+        Consistency with the scalar path is free — the per-node Bernoulli
+        draws are made once per window (in :meth:`_window`), so batch and
+        scalar queries read the same reported-failure grid.
+        """
+        counts = self.counts_in_partitions(
+            self._reported_integral(dims, t0, t1), bases, shape, dims
+        )
+        return counts > 0
+
+    def partition_failure_probabilities(
+        self, bases: np.ndarray, shape, dims: TorusDims, t0: float, t1: float
+    ) -> np.ndarray:
+        return np.where(
+            self.predict_failures(bases, shape, dims, t0, t1), 1.0, 0.0
+        )

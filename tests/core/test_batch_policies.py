@@ -1,0 +1,174 @@
+"""Batch policy paths must pick exactly what the scalar oracles pick.
+
+Each policy's production ``choose_partition`` is a vectorised argmin
+over the batch-scored candidate set; ``choose_partition_scalar`` is the
+retained per-candidate walk.  Identical choices — including tie order —
+are what make the whole batch refactor observationally invisible, so
+this suite asserts them per decision over random machine states and
+end-to-end over whole simulations (bitwise-identical reports).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation.mfp import PlacementIndex
+from repro.core.config import BackfillMode, SimulationConfig
+from repro.core.jobstate import JobState
+from repro.core.policies import BalancingPolicy, KrevatPolicy, TieBreakPolicy
+from repro.core.simulator import simulate
+from repro.failures.events import FailureEvent, FailureLog
+from repro.geometry.coords import TorusDims
+from repro.geometry.shapes import schedulable_sizes
+from repro.prediction import (
+    BalancingPredictor,
+    PartitionFailureRule,
+    TieBreakPredictor,
+)
+from repro.testing import random_torus
+from repro.workloads.job import Job, Workload
+
+D = TorusDims(4, 4, 5)
+
+
+@st.composite
+def torus_states(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    attempts = draw(st.integers(0, 14))
+    return random_torus(D, np.random.default_rng(seed), attempts=attempts)
+
+
+@st.composite
+def failure_logs(draw) -> FailureLog:
+    n = draw(st.integers(0, 10))
+    events = [
+        FailureEvent(
+            draw(st.floats(0.0, 800.0, allow_nan=False)),
+            draw(st.integers(0, D.volume - 1)),
+        )
+        for _ in range(n)
+    ]
+    return FailureLog(D.volume, events)
+
+
+def policies(log: FailureLog, accuracy: float, seed: int):
+    return [
+        KrevatPolicy(),
+        BalancingPolicy(BalancingPredictor(log, accuracy, PartitionFailureRule.MAX)),
+        BalancingPolicy(
+            BalancingPredictor(log, accuracy, PartitionFailureRule.COMPLEMENT_PRODUCT)
+        ),
+        TieBreakPolicy(TieBreakPredictor(log, accuracy, seed=seed)),
+    ]
+
+
+class TestPerDecision:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        torus_states(),
+        failure_logs(),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.integers(0, 2**31 - 1),
+        st.data(),
+    )
+    def test_batch_choice_equals_scalar_choice(self, torus, log, accuracy, seed, data):
+        """≥100 random states × all policies: same winner, tie order
+        included.  The tie-break predictor draws its response noise once
+        per window, so batch and scalar see identical answers."""
+        size = data.draw(st.sampled_from(schedulable_sizes(D)))
+        now = data.draw(st.floats(0.0, 700.0, allow_nan=False))
+        state = JobState(
+            Job(0, 0.0, size, data.draw(st.floats(1.0, 300.0, allow_nan=False)))
+        )
+        for policy in policies(log, accuracy, seed):
+            policy.begin_pass(now)
+            index = PlacementIndex(torus)
+            assert policy.choose_partition(
+                index, state, now
+            ) == policy.choose_partition_scalar(index, state, now), policy.name
+
+
+# Scalar-oracle policy variants: same class, production entry point
+# swapped for the retained scalar walk.  Used to run whole simulations
+# down the scalar path.
+class ScalarKrevat(KrevatPolicy):
+    choose_partition = KrevatPolicy.choose_partition_scalar
+
+
+class ScalarBalancing(BalancingPolicy):
+    choose_partition = BalancingPolicy.choose_partition_scalar
+
+
+class ScalarTieBreak(TieBreakPolicy):
+    choose_partition = TieBreakPolicy.choose_partition_scalar
+
+
+SCALAR_VARIANTS = {
+    KrevatPolicy: ScalarKrevat,
+    BalancingPolicy: ScalarBalancing,
+    TieBreakPolicy: ScalarTieBreak,
+}
+
+
+@st.composite
+def workloads(draw) -> Workload:
+    sizes = schedulable_sizes(D)
+    n = draw(st.integers(1, 8))
+    jobs = []
+    arrival = 0.0
+    for i in range(n):
+        arrival += draw(st.floats(0.0, 50.0, allow_nan=False))
+        jobs.append(
+            Job(
+                i,
+                arrival,
+                draw(st.sampled_from(sizes)),
+                draw(st.floats(1.0, 200.0, allow_nan=False)),
+            )
+        )
+    return Workload("batch-vs-scalar", D.volume, tuple(jobs))
+
+
+def policy_pairs(log: FailureLog, accuracy: float, seed: int):
+    """(batch, scalar) policy instances of every flavour.
+
+    Predictors with RNG state (tie-break) are built fresh per instance
+    from the same seed, so both runs see identical response noise.
+    """
+    return [
+        (KrevatPolicy(), ScalarKrevat()),
+        (
+            BalancingPolicy(BalancingPredictor(log, accuracy, PartitionFailureRule.MAX)),
+            ScalarBalancing(BalancingPredictor(log, accuracy, PartitionFailureRule.MAX)),
+        ),
+        (
+            TieBreakPolicy(TieBreakPredictor(log, accuracy, seed=seed)),
+            ScalarTieBreak(TieBreakPredictor(log, accuracy, seed=seed)),
+        ),
+    ]
+
+
+class TestEndToEnd:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workloads(),
+        failure_logs(),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.sampled_from(list(BackfillMode)),
+        st.booleans(),
+        st.data(),
+    )
+    def test_reports_bitwise_identical(
+        self, workload, log, accuracy, backfill, migration, data
+    ):
+        """Whole simulations agree: batch-path and scalar-path runs of
+        the same scenario produce equal reports, field for field."""
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        config = SimulationConfig(
+            dims=D, backfill=backfill, migration=migration, seed=seed
+        )
+        for batch_policy, scalar_policy in policy_pairs(log, accuracy, seed):
+            batch_report = simulate(workload, log, batch_policy, config)
+            scalar_report = simulate(workload, log, scalar_policy, config)
+            assert batch_report == scalar_report, batch_policy.name

@@ -49,6 +49,9 @@ def test_smoke_scale_produces_trajectory_file(bench_core, tmp_path):
     # The before/after shadow-time pair must both be present.
     assert "shadow_time_engine" in names
     assert "shadow_time_naive" in names
+    # Likewise the scalar/batch scoring pair the speedup gate consumes.
+    assert "scored_candidates_scalar" in names
+    assert "scored_candidates_batch" in names
     assert "sweep_serial" in names and "sweep_parallel" in names
     for r in records:
         assert REQUIRED_KEYS <= r.keys()

@@ -1,0 +1,161 @@
+"""Batch predictor APIs must be bitwise-equal to their scalar forms.
+
+Every predictor now answers for many same-shape candidate bases in one
+vectorised call (``partition_failure_probabilities`` /
+``predict_failures``).  The policies' batch paths are only bitwise
+compatible with the scalar oracles if these agree *exactly* — float
+equality, not approx — so that is what this suite asserts, over random
+failure logs, windows and candidate sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.failures.events import FailureEvent, FailureLog
+from repro.geometry.coords import TorusDims
+from repro.geometry.partition import Partition
+from repro.prediction import (
+    BalancingPredictor,
+    NullPredictor,
+    PartitionFailureRule,
+    PerfectPredictor,
+    TieBreakPredictor,
+)
+
+D = TorusDims(4, 4, 5)
+
+
+@st.composite
+def failure_logs(draw) -> FailureLog:
+    n = draw(st.integers(0, 12))
+    events = [
+        FailureEvent(
+            draw(st.floats(0.0, 1000.0, allow_nan=False)),
+            draw(st.integers(0, D.volume - 1)),
+        )
+        for _ in range(n)
+    ]
+    return FailureLog(D.volume, events)
+
+
+@st.composite
+def windows(draw) -> tuple[float, float]:
+    t0 = draw(st.floats(0.0, 900.0, allow_nan=False))
+    t1 = t0 + draw(st.floats(0.0, 500.0, allow_nan=False))
+    return t0, t1
+
+
+@st.composite
+def candidate_sets(draw) -> tuple[tuple[int, int, int], np.ndarray]:
+    shape = (
+        draw(st.integers(1, D.x)),
+        draw(st.integers(1, D.y)),
+        draw(st.integers(1, D.z)),
+    )
+    n = draw(st.integers(1, 10))
+    bases = np.stack(
+        [
+            draw(st.lists(st.integers(0, d - 1), min_size=n, max_size=n))
+            for d in D.as_tuple()
+        ],
+        axis=1,
+    ).astype(np.int64)
+    return shape, bases
+
+
+def scalar_probs(pred, bases, shape, t0, t1) -> list[float]:
+    return [
+        pred.partition_failure_probability(
+            Partition((int(b[0]), int(b[1]), int(b[2])), shape), D, t0, t1
+        )
+        for b in bases
+    ]
+
+
+def scalar_predictions(pred, bases, shape, t0, t1) -> list[bool]:
+    return [
+        pred.predicts_failure(
+            Partition((int(b[0]), int(b[1]), int(b[2])), shape), D, t0, t1
+        )
+        for b in bases
+    ]
+
+
+class TestBalancingBatch:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        failure_logs(),
+        windows(),
+        candidate_sets(),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.sampled_from(list(PartitionFailureRule)),
+    )
+    def test_bitwise_equal_to_scalar(self, log, window, cands, confidence, rule):
+        t0, t1 = window
+        shape, bases = cands
+        pred = BalancingPredictor(log, confidence, rule)
+        probs = pred.partition_failure_probabilities(bases, shape, D, t0, t1)
+        assert probs.dtype == np.float64
+        assert probs.tolist() == scalar_probs(pred, bases, shape, t0, t1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(failure_logs(), windows(), candidate_sets())
+    def test_perfect_predictor(self, log, window, cands):
+        t0, t1 = window
+        shape, bases = cands
+        pred = PerfectPredictor(log)
+        probs = pred.partition_failure_probabilities(bases, shape, D, t0, t1)
+        assert probs.tolist() == scalar_probs(pred, bases, shape, t0, t1)
+        assert set(probs.tolist()) <= {0.0, 1.0}
+
+
+class TestTieBreakBatch:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        failure_logs(),
+        windows(),
+        candidate_sets(),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_bitwise_equal_to_scalar(self, log, window, cands, accuracy, seed):
+        """Batch and scalar answers agree within one pass regardless of
+        query order — responses are drawn once per (t0, t1) window."""
+        t0, t1 = window
+        shape, bases = cands
+        pred = TieBreakPredictor(log, accuracy, seed=seed)
+        pred.begin_pass(t0)
+        batch_first = pred.predict_failures(bases, shape, D, t0, t1)
+        assert batch_first.dtype == np.bool_
+        assert batch_first.tolist() == scalar_predictions(pred, bases, shape, t0, t1)
+        # And the reverse order, after a fresh pass with the same seed:
+        # scalar queries must not perturb what the batch then sees.
+        pred2 = TieBreakPredictor(log, accuracy, seed=seed)
+        pred2.begin_pass(t0)
+        scalar_first = scalar_predictions(pred2, bases, shape, t0, t1)
+        assert pred2.predict_failures(bases, shape, D, t0, t1).tolist() == scalar_first
+        assert batch_first.tolist() == scalar_first
+
+    @settings(max_examples=25, deadline=None)
+    @given(failure_logs(), windows(), candidate_sets())
+    def test_probabilities_are_indicator_of_predictions(self, log, window, cands):
+        t0, t1 = window
+        shape, bases = cands
+        pred = TieBreakPredictor(log, 1.0, seed=0)
+        pred.begin_pass(t0)
+        predicted = pred.predict_failures(bases, shape, D, t0, t1)
+        probs = pred.partition_failure_probabilities(bases, shape, D, t0, t1)
+        assert probs.tolist() == [1.0 if p else 0.0 for p in predicted]
+
+
+class TestNullBatch:
+    @settings(max_examples=10, deadline=None)
+    @given(windows(), candidate_sets())
+    def test_all_zero(self, window, cands):
+        t0, t1 = window
+        shape, bases = cands
+        pred = NullPredictor()
+        assert not pred.partition_failure_probabilities(bases, shape, D, t0, t1).any()
+        assert not pred.predict_failures(bases, shape, D, t0, t1).any()
