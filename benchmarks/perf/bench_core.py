@@ -14,7 +14,10 @@ Record schema (one object per benchmark)::
 
 ``cells_per_s`` is operations/second for microbenches and simulation
 cells/second for the sweep benches; ``wall_s`` is the best-of-repeats
-wall time of one measured batch.
+wall time of one measured batch.  Sweep records carry an extra
+``mode`` key recording how the executor actually ran the cells
+(``serial``/``parallel`` — small grids auto-serialise, see
+``SweepExecutor.min_cells_per_worker``).
 
 Usage::
 
@@ -44,7 +47,7 @@ from repro.core.backfill import ShadowTimeEngine, shadow_time_naive
 from repro.core.jobstate import JobState
 from repro.experiments import parallel as parallel_mod
 from repro.experiments import sweep as sweep_mod
-from repro.experiments.sweep import SweepPoint, run_sweep
+from repro.experiments.sweep import SweepPoint, run_sweep_outcome
 from repro.geometry.coords import BGL_SUPERNODE_DIMS
 from repro.geometry.torus import Torus
 from repro.workloads.job import Job
@@ -57,6 +60,8 @@ SHADOW_SIZES = (8, 16, 32, 64, 128)
 FINDER_SIZES = (4, 8, 16, 32)
 #: Sizes the candidate-scoring benches score per pass.
 SCORING_SIZES = (4, 8, 16, 32)
+#: Sizes the index-maintenance benches query after every mutation.
+INDEX_UPDATE_SIZES = (4, 8, 16)
 
 
 @dataclass(frozen=True)
@@ -241,6 +246,47 @@ def _bench_finder(name: str, scale: Scale):
     return run, n * len(FINDER_SIZES)
 
 
+def _bench_index_update(scale: Scale, incremental: bool):
+    """Index maintenance across a mutation churn, patch vs rebuild.
+
+    Each step allocates or frees one box, brings the index up to date
+    (journal replay for the incremental path, from-scratch build for the
+    oracle), and then performs the queries one scheduler pass issues —
+    ``mfp_size`` plus batch losses for a few sizes.  The query half is
+    the point: a bare rebuild is cheap, but it discards every lazily
+    derived grid and probe integral, and re-deriving those is what the
+    incremental index's O(box) patch avoids.  The pair feeds
+    ``check_sim_speedup.py``.
+    """
+    from repro.allocation.incremental import IncrementalPlacementIndex
+
+    torus = loaded_torus(0.3, seed=5)
+    part = PlacementIndex(torus).candidate_batch(8).partition(0)
+    index = IncrementalPlacementIndex(torus) if incremental else None
+    n = scale.micro_number
+    job_id = 10**6
+
+    def run():
+        for _ in range(n):
+            for mutate in (
+                lambda: torus.allocate(job_id, part),
+                lambda: torus.release(job_id),
+            ):
+                mutate()
+                if index is not None:
+                    index.apply(
+                        torus.journal_since(index.torus_version), torus.version
+                    )
+                    idx = index
+                else:
+                    idx = PlacementIndex(torus)
+                idx.mfp_size()
+                for size in INDEX_UPDATE_SIZES:
+                    idx.batch_mfp_losses(size)
+
+    return run, 2 * n
+
+
 #: Fixed workload for the tracing-cost benches — deliberately NOT scale
 #: dependent, so ``sim_trace_off / placement_index_build`` is a
 #: dimensionless ratio comparable across scales and (to first order)
@@ -289,6 +335,49 @@ def bench_sim_trace(scale: Scale, trace: bool):
     return run, 1
 
 
+def bench_sim_modes(scale: Scale, incremental: bool, batch: bool):
+    """End-to-end simulation with the core's fast/oracle modes pinned.
+
+    ``sim_event_batched`` (incremental index + same-timestamp event
+    batching, the production defaults) against ``sim_event_unbatched``
+    (from-scratch index rebuild after *every* event handler — the
+    retained oracle semantics).  Same fixed workload as the tracing
+    pair, so all four sim benches are mutually comparable;
+    ``check_sim_speedup.py`` gates on the within-file ratio.
+    """
+    from repro.api import SimulationSetup
+    from repro.core.config import SimulationConfig
+    from repro.core.policies.registry import make_policy
+    from repro.core.simulator import Simulator
+
+    config = SimulationConfig(
+        incremental_index=incremental, batch_events=batch
+    )
+    setup = SimulationSetup(
+        site="sdsc",
+        n_jobs=TRACE_BENCH_JOBS,
+        n_failures=TRACE_BENCH_FAILURES,
+        policy="balancing",
+        parameter=0.1,
+        seed=0,
+        config=config,
+    )
+    workload = setup.build_workload()
+    failures = setup.build_failures(workload)
+
+    def run():
+        policy = make_policy(
+            "balancing",
+            failure_log=failures,
+            parameter=0.1,
+            pf_rule=setup.pf_rule,
+            seed=setup.seed + 2,
+        )
+        Simulator(workload, failures, policy, config).run()
+
+    return run, 1
+
+
 def _sweep_grid(scale: Scale) -> tuple[list[SweepPoint], tuple[int, ...]]:
     points = [
         SweepPoint("sdsc", scale.sweep_jobs, 1.0, 2 * i, "balancing", 0.1)
@@ -312,7 +401,9 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
     rev = git_rev()
     records: list[dict] = []
 
-    def record(bench: str, wall_s: float, ops: int, n_workers: int = 1) -> None:
+    def record(
+        bench: str, wall_s: float, ops: int, n_workers: int = 1, **extra
+    ) -> None:
         records.append(
             {
                 "bench": bench,
@@ -320,12 +411,14 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
                 "cells_per_s": round(ops / wall_s, 3) if wall_s > 0 else None,
                 "workers": n_workers,
                 "git_rev": rev,
+                **extra,
             }
         )
+        suffix = "".join(f"  {k}={v}" for k, v in extra.items())
         print(
             f"  {bench:<24} wall={wall_s:9.4f}s  "
             f"rate={ops / wall_s if wall_s > 0 else float('inf'):12.1f}/s  "
-            f"workers={n_workers}"
+            f"workers={n_workers}{suffix}"
         )
 
     print(f"bench_core [{scale_name}] rev={rev}")
@@ -339,6 +432,8 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
         ("finder_naive", lambda s: _bench_finder("naive", s)),
         ("finder_pop", lambda s: _bench_finder("pop", s)),
         ("finder_fast", lambda s: _bench_finder("fast", s)),
+        ("index_incremental_update", lambda s: _bench_index_update(s, True)),
+        ("index_rebuild_oracle", lambda s: _bench_index_update(s, False)),
     ]
     for name, factory in micro:
         run, ops = factory(scale)
@@ -353,25 +448,46 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
             ops,
         )
 
+    # Simulator-core modes: incremental+batched vs per-event rebuild.
+    for name, incremental, batch in (
+        ("sim_event_batched", True, True),
+        ("sim_event_unbatched", False, False),
+    ):
+        run, ops = bench_sim_modes(scale, incremental, batch)
+        record(name, best_of(run, scale.repeats), ops)
+
     # End-to-end sweep, serial then parallel, equivalence-checked.
     points, seeds = _sweep_grid(scale)
     n_cells = len(points) * len(seeds)
     sweep_mod.MASTER_FAILURE_COUNT = scale.master_failures
     _clear_sweep_caches()
     start = time.perf_counter()
-    serial = run_sweep(points, seeds, workers=1)
-    record("sweep_serial", time.perf_counter() - start, n_cells)
+    serial_outcome = run_sweep_outcome(points, seeds, workers=1)
+    record(
+        "sweep_serial",
+        time.perf_counter() - start,
+        n_cells,
+        mode=serial_outcome.stats.mode,
+    )
+    serial = serial_outcome.results
 
+    # The executor is free to refuse the pool when the grid is too small
+    # to amortise worker spawn (min_cells_per_worker cutover); the
+    # record's ``mode`` says what actually ran.
     parallel_workers = max(2, workers)
     _clear_sweep_caches()
     start = time.perf_counter()
-    parallel = run_sweep(points, seeds, workers=parallel_workers)
+    parallel_outcome = run_sweep_outcome(
+        points, seeds, workers=parallel_workers
+    )
     record(
         "sweep_parallel",
         time.perf_counter() - start,
         n_cells,
         n_workers=parallel_workers,
+        mode=parallel_outcome.stats.mode,
     )
+    parallel = parallel_outcome.results
     if serial != parallel:
         raise AssertionError(
             "serial and parallel sweeps disagree — equivalence broken"

@@ -1,0 +1,583 @@
+"""Incrementally maintained :class:`~repro.allocation.mfp.PlacementIndex`.
+
+The base index derives everything lazily from one wrap-padded busy
+integral, rebuilt from scratch on every torus mutation.  At BG/L
+scheduler scale (a 4x4x8 supernode torus, 128 shapes) the cost of a
+rebuild is not the arithmetic — it is the *number of numpy dispatches*
+the lazy per-shape scan issues while re-deriving placement grids and
+probe-row integrals the previous state had already materialised.
+
+:class:`IncrementalPlacementIndex` instead keeps the all-shapes
+busy-window-sum tensor ``sums[s, x, y, z]`` — the number of busy nodes
+inside the window of shape ``s`` based at ``(x, y, z)`` — as its core
+state and patches it in O(1) numpy ops per box mutation:
+
+* allocating or freeing a box ``B`` changes ``sums`` by
+  ``±overlap(B, window)``, and the overlap volume of two wrapped boxes
+  is *separable* — the product of three per-axis modular interval
+  overlaps.  Those per-axis overlap rows depend only on the torus
+  dimensions, so they are precomputed once per dims
+  (:func:`_tables`) and a mutation costs three table lookups and one
+  outer-product accumulate;
+* the free-placement grids of every shape are then just
+  ``sums == 0``, and per-shape totals one vectorised count — no lazy
+  per-shape scan ever runs;
+* the wrap-padded busy integral is patched with the same separability
+  trick (per-axis padded occupancy cumsums), keeping it bitwise equal
+  to a fresh :func:`~repro.geometry.torus.wrap_pad_integral`;
+* probe-row placement integrals are rebuilt lazily per state, but for
+  a whole block of shapes in one stacked gather + three cumsums.
+
+All patches are exact integer arithmetic, so every derived field is
+**bitwise equal** to a from-scratch rebuild — the from-scratch
+:class:`~repro.allocation.mfp.PlacementIndex` is retained as the
+cross-validation oracle (``tests/allocation/test_incremental_index.py``
+asserts field-for-field equality after every mutation, mirroring the
+batch-vs-scalar contract of DESIGN.md §5.11/§5.12).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.allocation.mfp import CandidateBatch, PlacementIndex
+from repro.geometry.coords import Coord
+from repro.geometry.partition import Partition
+from repro.geometry.shapes import all_shapes, shapes_for_size
+from repro.geometry.torus import Torus
+
+
+class _DimsTables:
+    """Static per-dims lookup tables shared by every incremental index.
+
+    Everything here depends only on the torus dimensions (and the fixed
+    decreasing-volume shape order of
+    :func:`~repro.geometry.shapes.all_shapes`), never on occupancy.
+    """
+
+    __slots__ = (
+        "dims_tuple",
+        "shapes",
+        "row_of",
+        "ext",
+        "vol",
+        "fullspan",
+        "overlap",
+        "zmask",
+        "zall",
+        "keyw",
+        "bitw",
+        "bitoff",
+        "ones",
+        "oxy",
+        "fxy",
+        "fvec",
+        "pads",
+        "coords",
+        "flat8",
+        "signs",
+        "_size_rows",
+        "_canon",
+    )
+
+    def __init__(self, dims_tuple: Coord) -> None:
+        self.dims_tuple = dims_tuple
+        from repro.geometry.coords import TorusDims
+
+        dims = TorusDims(*dims_tuple)
+        shapes = all_shapes(dims)
+        n_shapes = len(shapes)
+        self.shapes = shapes
+        self.row_of = {shape: row for row, shape in enumerate(shapes)}
+        self.ext = np.array(shapes, dtype=np.int64)            # (S, 3)
+        self.vol = self.ext.prod(axis=1)                        # (S,)
+        self.fullspan = (
+            self.ext == np.array(dims_tuple, dtype=np.int64)[None, :]
+        ).any(axis=1)                                           # (S,)
+        # Per-axis modular interval overlaps: overlap[axis][a-1, b] is
+        # the (S, P) table of |[q, q+t_s) ∩ [b, b+a)| on the circle of
+        # period P, for every shape row s and window base q.  A box
+        # mutation's effect on ``sums`` is the outer product of its
+        # three axis rows.
+        self.overlap = tuple(
+            self._axis_overlap(dims_tuple[axis], self.ext[:, axis])
+            for axis in range(3)
+        )
+        # Bit-packed zero-overlap masks: bit ``q`` of ``zmask[axis][a-1,
+        # b, s]`` is set iff ``overlap[axis][a-1, b, s, q] == 0``.  Axis
+        # reductions over a tiny trailing dimension are pathologically
+        # slow in numpy relative to 2-D integer ops, so the disjointness
+        # test in ``_batch_excluding`` is phrased as bitmask ANDs.
+        self.bitw = tuple(
+            (1 << np.arange(p)).astype(np.int64) for p in dims_tuple
+        )
+        self.zmask = tuple(
+            ((ov == 0) * w[None, None, None, :]).sum(axis=-1)
+            for ov, w in zip(self.overlap, self.bitw)
+        )
+        # One fused table for the three axes: row ``key(c)`` holds, per
+        # probe shape, all three zero-overlap masks of candidate ``c``
+        # packed into disjoint bit ranges (z low, then y, then x), so a
+        # resolve costs one gather instead of three.  Only built when
+        # the packed word fits an int64 and the table stays small; the
+        # per-axis ``zmask`` path remains as fallback.
+        X, Y, Z = dims_tuple
+        self.bitoff = (Z + Y, Z, 0)                              # x, y, z
+        n_keys = (X * X) * (Y * Y) * (Z * Z)
+        if X + Y + Z <= 16 and n_keys * n_shapes <= 1 << 22:
+            zx = self.zmask[0].reshape(X * X, 1, 1, n_shapes)
+            zy = self.zmask[1].reshape(1, Y * Y, 1, n_shapes)
+            zz = self.zmask[2].reshape(1, 1, Z * Z, n_shapes)
+            self.zall = (
+                (zx << self.bitoff[0]) | (zy << self.bitoff[1]) | zz
+            ).reshape(n_keys, n_shapes).astype(np.uint16)
+            # key(c) = kx * Y²Z² + ky * Z² + kz with k_axis = a*P + b:
+            # two (n, 3) @ (3,) products against these stride vectors.
+            self.keyw = (
+                np.array(
+                    [X * Y * Y * Z * Z, Y * Z * Z, Z], dtype=np.int64
+                ),
+                np.array([Y * Y * Z * Z, Z * Z, 1], dtype=np.int64),
+            )
+        else:
+            self.zall = None
+            self.keyw = None
+        # uint8 contraction vectors for `_refresh`: integer matmuls
+        # avoid this numpy build's slow small-axis reductions, and the
+        # uint8 kernel skips the int64 upcast copy of the bool operand.
+        # Counts are bounded by the machine volume, so uint8 is exact
+        # whenever the volume fits; bigger machines get int64.
+        cnt_dtype = np.uint8 if int(self.vol[0]) <= 255 else np.int64
+        self.ones = (
+            np.ones(X, cnt_dtype),
+            np.ones(Y, cnt_dtype),
+            np.ones(Z, cnt_dtype),
+            np.ones(Y * Z, cnt_dtype),
+        )
+        # Per-axis padded-occupancy prefix sums: fvec[axis][a-1, b] is
+        # the (2P,) cumulative count of box positions (with their
+        # wrap-pad copies at pos+P for pos <= P-2) below each padded
+        # index — the separable factor of a busy-integral patch.
+        self.fvec = tuple(
+            self._axis_fvec(dims_tuple[axis]) for axis in range(3)
+        )
+        # Pairwise x*y product tables, one row per (kx, ky) key: an
+        # `apply` patch then costs one multiply+accumulate instead of
+        # two multiplies (the z factor is applied on the fly).
+        if (X * X) * (Y * Y) * n_shapes * X * Y <= 1 << 23:
+            self.oxy = (
+                self.overlap[0].reshape(X * X, 1, n_shapes, X, 1)
+                * self.overlap[1].reshape(1, Y * Y, n_shapes, 1, Y)
+            ).reshape((X * X) * (Y * Y), n_shapes, X, Y)
+            self.fxy = (
+                self.fvec[0].reshape(X * X, 1, 2 * X, 1)
+                * self.fvec[1].reshape(1, Y * Y, 1, 2 * Y)
+            ).reshape((X * X) * (Y * Y), 2 * X, 2 * Y)
+        else:
+            self.oxy = None
+            self.fxy = None
+        # Wrap-pad gather indices (arange(2P-1) % P per axis).
+        self.pads = tuple(
+            np.arange(2 * p - 1) % p for p in dims_tuple
+        )
+        # Row-major base coordinates: coords[flat_index] == unravel.
+        x, y, z = np.unravel_index(
+            np.arange(int(np.prod(dims_tuple))), dims_tuple
+        )
+        self.coords = np.stack([x, y, z], axis=1).astype(np.int64)
+        # Eight-corner gather for a full sums rebuild from the busy
+        # integral: flat8[t, s, x, y, z] indexes the raveled padded
+        # integral; signs[t] is +1 when the corner offsets an odd number
+        # of axes by the shape extent.
+        X, Y, Z = dims_tuple
+        arx = np.arange(X, dtype=np.int64)
+        ary = np.arange(Y, dtype=np.int64)
+        arz = np.arange(Z, dtype=np.int64)
+        terms, signs = [], []
+        for bx in (0, 1):
+            for by in (0, 1):
+                for bz in (0, 1):
+                    ix = arx[None, :] + bx * self.ext[:, 0:1]   # (S, X)
+                    iy = ary[None, :] + by * self.ext[:, 1:2]
+                    iz = arz[None, :] + bz * self.ext[:, 2:3]
+                    idx = (
+                        ix[:, :, None, None] * (2 * Y)
+                        + iy[:, None, :, None]
+                    ) * (2 * Z) + iz[:, None, None, :]
+                    terms.append(np.broadcast_to(idx, (n_shapes, X, Y, Z)))
+                    signs.append(1 if (bx + by + bz) % 2 == 1 else -1)
+        self.flat8 = np.ascontiguousarray(np.stack(terms))
+        self.signs = tuple(signs)
+        self._size_rows: dict[int, np.ndarray] = {}
+        self._canon: dict[int, tuple[tuple, np.ndarray]] = {}
+
+    @staticmethod
+    def _axis_overlap(period: int, extents: np.ndarray) -> np.ndarray:
+        """``(P, P, S, P)`` table: ``[a-1, b, s, q]`` is the modular
+        interval overlap ``|[q, q+extents[s]) ∩ [b, b+a)| (mod P)``."""
+        p = np.arange(period)
+        # member[pos, q, t-1]: is position ``pos`` inside [q, q+t)?
+        member = (
+            ((p[:, None] - p[None, :]) % period)[:, :, None]
+            < np.arange(1, period + 1)[None, None, :]
+        ).astype(np.int32)
+        t_idx = extents - 1                                      # (S,)
+        # int32 throughout: window sums are bounded by the machine
+        # volume, and the narrower dtype halves patch bandwidth.
+        out = np.empty(
+            (period, period, extents.shape[0], period), dtype=np.int32
+        )
+        for a in range(1, period + 1):
+            for b in range(period):
+                pos = (b + np.arange(a)) % period
+                acc = member[pos].sum(axis=0)                    # (q, t)
+                out[a - 1, b] = acc[:, t_idx].T                  # (S, q)
+        return out
+
+    @staticmethod
+    def _axis_fvec(period: int) -> np.ndarray:
+        """``(P, P, 2P)`` table of padded-occupancy prefix sums."""
+        out = np.zeros((period, period, 2 * period), dtype=np.int64)
+        for a in range(1, period + 1):
+            for b in range(period):
+                occ = np.zeros(2 * period, dtype=np.int64)
+                pos = (b + np.arange(a)) % period
+                np.add.at(occ, pos, 1)
+                np.add.at(occ, pos[pos <= period - 2] + period, 1)
+                out[a - 1, b, 1:] = occ[: 2 * period - 1].cumsum()
+        return out
+
+    def canon(self, row: int) -> tuple[tuple, np.ndarray]:
+        """Full-span canonicalisation helpers for shape ``row``.
+
+        Returns ``(slicer, coords)``: indexing a free grid with
+        ``slicer`` pins every fully-spanned axis at 0 (the free grid is
+        constant along such axes — the window covers the whole axis, so
+        every base sees the same occupancy), and ``coords[i]`` is the
+        canonical base of the ``i``-th surviving cell in row-major
+        order.  Equivalent to, and much cheaper than, zeroing the
+        spanned axes and first-occurrence dedup.
+        """
+        out = self._canon.get(row)
+        if out is None:
+            shape = self.shapes[row]
+            full = [shape[a] == self.dims_tuple[a] for a in range(3)]
+            slicer = tuple(0 if f else slice(None) for f in full)
+            axes = [
+                np.arange(p) if not f else np.zeros(1, dtype=np.int64)
+                for f, p in zip(full, self.dims_tuple)
+            ]
+            gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+            coords = np.stack(
+                [gx.ravel(), gy.ravel(), gz.ravel()], axis=1
+            ).astype(np.int64)
+            out = (slicer, coords)
+            self._canon[row] = out
+        return out
+
+    def size_rows(self, size: int) -> np.ndarray:
+        """Shape rows of every shape with volume ``size`` that fits,
+        in :func:`~repro.geometry.shapes.shapes_for_size` order."""
+        rows = self._size_rows.get(size)
+        if rows is None:
+            from repro.geometry.coords import TorusDims
+
+            dims = TorusDims(*self.dims_tuple)
+            rows = np.array(
+                [self.row_of[s] for s in shapes_for_size(size, dims)],
+                dtype=np.intp,
+            )
+            self._size_rows[size] = rows
+        return rows
+
+
+@lru_cache(maxsize=8)
+def _tables(dims_tuple: Coord) -> _DimsTables:
+    return _DimsTables(dims_tuple)
+
+
+class IncrementalPlacementIndex(PlacementIndex):
+    """A :class:`PlacementIndex` that can patch itself across mutations.
+
+    Construction is a full (exact) build; :meth:`apply` replays a torus
+    journal slice — O(1) numpy dispatches per box — and invalidates the
+    per-state caches.  Every query override returns values bitwise equal
+    to the inherited lazy path; the batch/scalar scoring kernels, probe
+    blocks and candidate enumeration are inherited unchanged and consume
+    the patched state through the same ``_placements`` /
+    ``count_placements`` / ``_ensure_rows`` surface.
+    """
+
+    __slots__ = (
+        "_tables",
+        "_sums",
+        "_free",
+        "_tot",
+        "_ne_idx",
+        "_fmask",
+        "_fall",
+    )
+
+    def __init__(self, torus: Torus) -> None:
+        super().__init__(torus)
+        t = _tables(self.dims.as_tuple())
+        self._tables = t
+        raveled = self._busy_integral.ravel()
+        sums: np.ndarray | None = None
+        for sign, idx in zip(t.signs, t.flat8):
+            term = raveled.take(idx)
+            if sums is None:
+                sums = term if sign > 0 else -term
+            elif sign > 0:
+                sums += term
+            else:
+                sums -= term
+        assert sums is not None
+        self._sums = sums.astype(np.int32)                       # (S,X,Y,Z)
+        self._refresh()
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        t = self._tables
+        X, Y, Z = t.dims_tuple
+        S = len(t.shapes)
+        free = self._sums == 0
+        self._free = free
+        # Every reduction below is a matmul: this numpy build's
+        # reductions over small trailing axes cost an order of magnitude
+        # more than an equivalent (tiny) matrix product.  The uint8
+        # view of the bool grid keeps the kernel integer-exact (counts
+        # are volume-bounded) without an upcast copy.
+        fr = free.view(np.uint8).reshape(S, X, Y * Z)
+        cx = fr @ t.ones[3]                                        # (S, X)
+        self._tot = (cx @ t.ones[0]).astype(np.int64)              # (S,)
+        self._ne_idx = np.flatnonzero(self._tot)
+        cyz = np.matmul(t.ones[0], fr)                             # (S, YZ)
+        cy = cyz.reshape(S, Y, Z) @ t.ones[2]                      # (S, Y)
+        cz = np.matmul(t.ones[1], cyz.reshape(S, Y, Z))            # (S, Z)
+        # Bit-packed per-axis projections of the free grids: bit ``v``
+        # of ``_fmask[axis][s]`` is set iff some free placement of shape
+        # ``s`` has axis coordinate ``v`` — the whole state
+        # :meth:`_batch_excluding` needs.  ``_fall`` fuses all three
+        # into the ``zall`` bit layout.
+        fx = (cx > 0) @ t.bitw[0]                                  # (S,)
+        fy = (cy > 0) @ t.bitw[1]
+        fz = (cz > 0) @ t.bitw[2]
+        self._fmask = (fx, fy, fz)
+        self._fall = (
+            (fx << t.bitoff[0]) | (fy << t.bitoff[1]) | fz
+        ).astype(np.uint16)
+        self._scan_pos = len(self._shape_order)
+
+    def apply(
+        self, entries: list[tuple[str, Coord, Coord]], target_version: int
+    ) -> None:
+        """Replay journal entries, then invalidate per-state caches.
+
+        ``entries`` come from :meth:`Torus.journal_since`; after the
+        call the index answers for ``target_version`` exactly as a fresh
+        build would.
+        """
+        t = self._tables
+        sums = self._sums
+        busy = self._busy_integral
+        X, Y, _ = t.dims_tuple
+        for op, base, shape in entries:
+            bx, by, bz = base
+            ax, ay, az = shape
+            oz = t.overlap[2][az - 1, bz]                        # (S, Z)
+            fz = t.fvec[2][az - 1, bz]                           # (2Z,)
+            if t.oxy is not None:
+                kxy = ((ax - 1) * X + bx) * (Y * Y) + (ay - 1) * Y + by
+                patch = t.oxy[kxy][:, :, :, None] * oz[:, None, None, :]
+                busy_patch = t.fxy[kxy][:, :, None] * fz[None, None, :]
+            else:
+                ox = t.overlap[0][ax - 1, bx]                    # (S, X)
+                oy = t.overlap[1][ay - 1, by]                    # (S, Y)
+                patch = (ox[:, :, None] * oy[:, None, :])[:, :, :, None] \
+                    * oz[:, None, None, :]
+                fx = t.fvec[0][ax - 1, bx]                       # (2X,)
+                fy = t.fvec[1][ay - 1, by]
+                busy_patch = (fx[:, None] * fy[None, :])[:, :, None] \
+                    * fz[None, None, :]
+            if op == "alloc":
+                np.add(sums, patch, out=sums)
+                np.add(busy, busy_patch, out=busy)
+            else:
+                np.subtract(sums, patch, out=sums)
+                np.subtract(busy, busy_patch, out=busy)
+        self._refresh()
+        self._grids.clear()
+        self._totals.clear()
+        self._grid_integrals.clear()
+        self._mfp_size = None
+        self._nonempty_rows = []
+        self._probe_blocks.clear()
+        self._candidate_cache.clear()
+        self._scored_cache.clear()
+        self._batch_cache.clear()
+        self._batch_scored_cache.clear()
+        self.torus_version = target_version
+
+    # ------------------------------------------------------------------
+    # query overrides (bitwise equal to the inherited lazy path)
+    # ------------------------------------------------------------------
+    def _placements(self, shape: Coord) -> np.ndarray:
+        return self._free[self._tables.row_of[shape]]
+
+    def count_placements(self, shape: Coord) -> int:
+        return int(self._tot[self._tables.row_of[shape]])
+
+    def _batch_excluding(
+        self, bases: np.ndarray, cand_shapes: np.ndarray
+    ) -> np.ndarray:
+        """``mfp_excluding`` for ``n`` candidates via the overlap tables.
+
+        A free placement of probe shape ``s`` at ``q`` survives
+        candidate ``c`` iff the wrapped boxes are disjoint, i.e. the
+        per-axis overlap is zero on *some* axis.  ``any(free & (zx |
+        zy | zz))`` distributes over the OR into three per-axis tests
+        against the cached bit-packed ``_fmask`` projections, so the
+        whole resolve is a handful of 2-D integer dispatches on
+        ``(n, S)`` arrays — no probe integrals, no blocks, no scalar
+        walk.  The answer per candidate is the first surviving row in
+        the decreasing-volume shape order, exactly the scalar walk's
+        early exit (the differential suite asserts equality for both
+        paths).
+        """
+        n = bases.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        t = self._tables
+        X, Y, Z = t.dims_tuple
+        dims_arr = np.array((X, Y, Z), dtype=np.int64)
+        b = bases % dims_arr
+        a = cand_shapes - 1
+        if t.zall is not None:
+            key = a @ t.keyw[0] + b @ t.keyw[1]                  # (n,)
+            survive = (t.zall[key] & self._fall[None, :]) != 0   # (n, S)
+        else:
+            fx, fy, fz = self._fmask
+            mx = t.zmask[0][a[:, 0], b[:, 0]]                    # (n, S)
+            my = t.zmask[1][a[:, 1], b[:, 1]]
+            mz = t.zmask[2][a[:, 2], b[:, 2]]
+            survive = (
+                (mx & fx[None, :]) | (my & fy[None, :]) | (mz & fz[None, :])
+            ) != 0
+        first = np.argmax(survive, axis=1)
+        return np.where(survive.any(axis=1), t.vol[first], 0)
+
+    def _stack_integrals(self, rows: np.ndarray) -> np.ndarray:
+        """Wrap-pad integrals of the placement grids of ``rows``, built
+        in one stacked gather + three cumsums; ``out[j]`` is bitwise
+        equal to ``wrap_pad_integral(self._free[rows[j]].astype(int64))``.
+        """
+        px, py, pz = self._tables.pads
+        X, Y, Z = self.dims.as_tuple()
+        padded = self._free[
+            np.asarray(rows)[:, None, None, None],
+            px[None, :, None, None],
+            py[None, None, :, None],
+            pz[None, None, None, :],
+        ].astype(np.int64)
+        np.cumsum(padded, axis=1, out=padded)
+        np.cumsum(padded, axis=2, out=padded)
+        np.cumsum(padded, axis=3, out=padded)
+        out = np.zeros((len(rows), 2 * X, 2 * Y, 2 * Z), dtype=np.int64)
+        out[:, 1:, 1:, 1:] = padded
+        return out
+
+    def _placement_integral(self, shape: Coord) -> np.ndarray:
+        integral = self._grid_integrals.get(shape)
+        if integral is None:
+            row = self._tables.row_of[shape]
+            integral = self._stack_integrals(np.array([row]))[0]
+            self._grid_integrals[shape] = integral
+        return integral
+
+    def _ensure_rows(self, count: int) -> list[tuple[int, Coord, int, np.ndarray]]:
+        rows = self._nonempty_rows
+        idx = self._ne_idx
+        have = len(rows)
+        hi = min(count, idx.size)
+        if have < hi:
+            # Grow geometrically: the scalar walk asks for rows one at a
+            # time, and a stacked build's cost is dominated by its fixed
+            # dispatch count, not the row count — over-materialising a
+            # small chunk is much cheaper than one build per row.
+            hi = min(idx.size, max(hi, 2 * have, self._PROBE_BLOCK))
+            sel = idx[have:hi]
+            integrals = self._stack_integrals(sel)
+            t = self._tables
+            tot = self._tot
+            for j, r in enumerate(sel.tolist()):
+                rows.append(
+                    (int(t.vol[r]), t.shapes[r], int(tot[r]), integrals[j])
+                )
+        return rows
+
+    def mfp_size(self) -> int:
+        if self._mfp_size is None:
+            idx = self._ne_idx
+            self._mfp_size = int(self._tables.vol[idx[0]]) if idx.size else 0
+        return self._mfp_size
+
+    def mfp_partition(self) -> Partition | None:
+        idx = self._ne_idx
+        if idx.size == 0:
+            return None
+        row = int(idx[0])
+        grid = self._free[row]
+        base = np.unravel_index(int(grid.argmax()), grid.shape)
+        return Partition(
+            (int(base[0]), int(base[1]), int(base[2])), self._tables.shapes[row]
+        )
+
+    def has_candidate(self, size: int) -> bool:
+        rows = self._tables.size_rows(size)
+        return bool(self._tot[rows].any()) if rows.size else False
+
+    def candidate_batch(self, size: int) -> CandidateBatch:
+        # Same enumeration contract as the base implementation (shape
+        # order of shapes_for_size, row-major bases, full-span axes
+        # canonicalised to 0 with first-occurrence dedup) — but the
+        # bases of every shape of the size come from one stacked
+        # nonzero over the free grids instead of one scan per shape.
+        batch = self._batch_cache.get(size)
+        if batch is not None:
+            return batch
+        dims = self.dims
+        t = self._tables
+        rows = t.size_rows(size)
+        rows = rows[self._tot[rows] > 0] if rows.size else rows
+        plain = rows[~t.fullspan[rows]] if rows.size else rows
+        if plain.size:
+            flat = self._free[plain].reshape(plain.size, -1)
+            bases_all = t.coords[np.nonzero(flat)[1]]
+            bounds = np.cumsum(self._tot[plain]).tolist()
+        else:
+            bases_all, bounds = None, []
+        shapes: list[Coord] = []
+        groups: list[np.ndarray] = []
+        k = lo = 0
+        for row in rows.tolist():
+            if t.fullspan[row]:
+                # The free grid is constant along fully-spanned axes, so
+                # first-occurrence dedup of canonicalised bases reduces
+                # to slicing those axes at 0 (see _DimsTables.canon).
+                slicer, coords = t.canon(row)
+                groups.append(
+                    coords[np.flatnonzero(self._free[row][slicer])]
+                )
+            else:
+                hi = bounds[k]
+                groups.append(bases_all[lo:hi])
+                lo, k = hi, k + 1
+            shapes.append(t.shapes[row])
+        batch = CandidateBatch(dims, tuple(shapes), groups)
+        self._batch_cache[size] = batch
+        return batch

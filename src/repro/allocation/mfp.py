@@ -529,6 +529,11 @@ class PlacementIndex:
         return self.mfp_size() - self.mfp_excluding(partition)
 
 
+#: Journal length beyond which replaying patches loses to one fresh
+#: incremental build (a build is ~one patch per corner term).
+_MAX_PATCH_ENTRIES = 8
+
+
 class IndexCache:
     """``torus.version``-checked reuse of one :class:`PlacementIndex`.
 
@@ -537,19 +542,56 @@ class IndexCache:
     machine state".  Building one per loop iteration discards every lazy
     placement grid and score cache the previous iteration warmed; this
     handle rebuilds only when the torus actually mutated.
+
+    With ``incremental=True`` the cache holds an
+    :class:`~repro.allocation.incremental.IncrementalPlacementIndex`
+    and, when the torus version moved, asks the torus journal for the
+    mutations in between: a short journal slice is *replayed* onto the
+    existing index (O(box) patching) instead of rebuilding from scratch.
+    A missing or unreplayable journal (whole-grid mutation, entries aged
+    out, version from the future) falls back to a fresh build — the
+    retained oracle path.  Observability counters
+    ``index.incremental.hit`` / ``repair`` / ``fallback`` record which
+    path each lookup took.
     """
 
-    __slots__ = ("torus", "_index")
+    __slots__ = ("torus", "incremental", "_index")
 
-    def __init__(self, torus: Torus) -> None:
+    def __init__(self, torus: Torus, incremental: bool = False) -> None:
         self.torus = torus
+        self.incremental = incremental
         self._index: PlacementIndex | None = None
+
+    def invalidate(self) -> None:
+        """Drop the cached index; the next :meth:`get` builds fresh."""
+        self._index = None
 
     def get(self) -> PlacementIndex:
         """The index for the torus's current state (rebuilt on demand)."""
         index = self._index
-        if index is None or index.torus_version != self.torus.version:
-            index = self._index = PlacementIndex(self.torus)
+        torus = self.torus
+        if index is not None and index.torus_version == torus.version:
+            if self.incremental:
+                registry = obs_metrics.ACTIVE
+                if registry is not None:
+                    registry.counter("index.incremental.hit").inc()
+            return index
+        if not self.incremental:
+            index = self._index = PlacementIndex(torus)
+            return index
+        from repro.allocation.incremental import IncrementalPlacementIndex
+
+        registry = obs_metrics.ACTIVE
+        if index is not None:
+            entries = torus.journal_since(index.torus_version)
+            if entries is not None and len(entries) <= _MAX_PATCH_ENTRIES:
+                index.apply(entries, torus.version)  # type: ignore[attr-defined]
+                if registry is not None:
+                    registry.counter("index.incremental.repair").inc()
+                return index
+            if registry is not None:
+                registry.counter("index.incremental.fallback").inc()
+        index = self._index = IncrementalPlacementIndex(torus)
         return index
 
 

@@ -71,6 +71,19 @@ class SimulationConfig:
     #: histograms and hot-path timers for the run (available as
     #: ``Simulator.metrics``).  Observational, like ``trace``.
     profile: bool = False
+    #: Maintain the scheduler's :class:`~repro.allocation.mfp.PlacementIndex`
+    #: incrementally: alloc/free mutations are patched onto the live
+    #: index via the torus journal instead of forcing a from-scratch
+    #: rebuild.  Bitwise-equivalent to the rebuild path (the retained
+    #: oracle; DESIGN.md §5.12) — off reproduces the old always-rebuild
+    #: behaviour for cross-validation and benchmarking.
+    incremental_index: bool = True
+    #: Coalesce same-timestamp events into one batch: one index repair
+    #: and one scheduler pass per burst of simultaneous finishes /
+    #: failures / arrivals.  Off retains the naive per-event oracle
+    #: (identical reports and traces; the index is refreshed after every
+    #: event) for the differential suite and the event-batching bench.
+    batch_events: bool = True
     #: Hard cap on processed events, guarding against livelock bugs.
     max_events: int = 50_000_000
 

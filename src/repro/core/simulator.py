@@ -107,7 +107,9 @@ class Simulator:
         self._completed = 0
         self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
         self._running_ids: set[int] = set()
-        self._index_cache = IndexCache(self.torus)
+        self._index_cache = IndexCache(
+            self.torus, incremental=self.config.incremental_index
+        )
         self._shadow = ShadowTimeEngine(self.torus, index_cache=self._index_cache)
 
         for job in workload.jobs:
@@ -185,6 +187,16 @@ class Simulator:
                     self._on_failure(event.payload, now)
                 else:
                     self._on_arrival(event.payload, now)
+                if not self.config.batch_events:
+                    # Naive per-event oracle: refresh the placement
+                    # index after every event instead of once per
+                    # coalesced batch.  The refreshed index is not
+                    # consulted between events, so reports and traces
+                    # stay byte-identical to the batched path (the
+                    # differential suite in tests/core/
+                    # test_event_batching.py enforces this).
+                    self._index_cache.invalidate()
+                    self._index_cache.get()
             self._schedule_pass(now)
             if now >= self._min_arrival:
                 self.tracker.record(

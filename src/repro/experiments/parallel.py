@@ -188,6 +188,13 @@ class SweepExecutor:
     resume:
         Whether to trust existing checkpoint cells (verified reads) or
         recompute everything while still writing checkpoints.
+    min_cells_per_worker:
+        Fast-path parallel cutover: a sweep with fewer than
+        ``min_cells_per_worker * workers`` cells runs in-process even
+        when workers were requested — pool spawn plus per-worker table
+        warm-up costs more than it buys on small grids (BENCH_core.json
+        had an 8-point sweep *slower* with 2 workers than serial).  Set
+        to 0 to force the pool whenever workers > 1.
     sleep:
         Backoff clock, injectable so tests can fake it.
     """
@@ -199,6 +206,7 @@ class SweepExecutor:
     retry: RetryPolicy | None = None
     chaos: ChaosConfig | None = None
     resume: bool = True
+    min_cells_per_worker: int = 10
     sleep: Callable[[float], None] = field(default=time.sleep)
 
     @property
@@ -268,6 +276,7 @@ class SweepExecutor:
             else:
                 pending.append(i)
         if not pending:
+            stats.mode = "cached"
             return ResilientSweepOutcome(results, (), stats)
 
         if resilient:
@@ -276,19 +285,31 @@ class SweepExecutor:
             )
 
         n_cells = len(pending) * len(seeds)
-        if n_workers <= 1 or n_cells <= 1 or not fork_available():
+        auto_serial = n_cells < self.min_cells_per_worker * n_workers
+        if n_workers <= 1 or n_cells <= 1 or auto_serial or not fork_available():
             if n_workers > 1 and not fork_available():
                 logger.info(
                     "platform lacks fork start method; running %d cells "
                     "in-process",
                     n_cells,
                 )
+            elif n_workers > 1 and auto_serial:
+                logger.info(
+                    "%d cells is below the parallel cutover "
+                    "(min_cells_per_worker=%d x %d workers); running "
+                    "in-process",
+                    n_cells,
+                    self.min_cells_per_worker,
+                    n_workers,
+                )
+            stats.mode = "serial"
             for i in pending:
                 results[i] = run_point(
                     points[i], seeds, model, collector=collector, point_index=i
                 )
             return ResilientSweepOutcome(results, (), stats)
 
+        stats.mode = "parallel"
         reports, observations = self._execute(
             points, pending, seeds, model, n_workers, with_obs=collector is not None
         )
@@ -451,8 +472,14 @@ class SweepExecutor:
                         )
 
         remaining = [cell for cell in cells if cell[0] not in reports]
+        if not remaining:
+            stats.mode = "cached"
+        elif n_workers > 1 and len(remaining) > 1 and fork_available():
+            stats.mode = "parallel"
+        else:
+            stats.mode = "serial"
         if remaining:
-            if n_workers > 1 and len(remaining) > 1 and fork_available():
+            if stats.mode == "parallel":
                 self._execute_resilient(
                     remaining, model, n_workers, with_obs, policy, store,
                     keys, stats, quarantine, reports, observations,

@@ -275,13 +275,16 @@ def run_sweep(
     retry=None,
     chaos=None,
     resume: bool = True,
+    min_cells_per_worker: int | None = None,
 ) -> list[SweepResult]:
     """Run every cell of a sweep.
 
     ``workers`` > 1 fans the ``(point, seed)`` cells out over a process
     pool (see :mod:`repro.experiments.parallel`); results are collected
     in point order and are bitwise-identical to the serial path.  ``None``
-    or ``1`` runs in-process, as does any platform without ``fork``.
+    or ``1`` runs in-process, as does any platform without ``fork`` or
+    any sweep smaller than the executor's ``min_cells_per_worker``
+    cutover (override it here; 0 forces the pool).
 
     A :class:`~repro.obs.aggregate.SweepObsCollector` receives every
     cell's metrics registry (and trace, when ``point.config.trace`` is
@@ -305,6 +308,7 @@ def run_sweep(
         retry=retry,
         chaos=chaos,
         resume=resume,
+        min_cells_per_worker=min_cells_per_worker,
     ).results
 
 
@@ -319,6 +323,7 @@ def run_sweep_outcome(
     retry=None,
     chaos=None,
     resume: bool = True,
+    min_cells_per_worker: int | None = None,
 ):
     """Run a sweep and return the full
     :class:`~repro.resilience.ResilientSweepOutcome`.
@@ -345,12 +350,16 @@ def run_sweep_outcome(
         if len(points) > 0 and (
             resilient or (workers is not None and workers > 1)
         ):
+            executor_kwargs = {}
+            if min_cells_per_worker is not None:
+                executor_kwargs["min_cells_per_worker"] = min_cells_per_worker
             executor = SweepExecutor(
                 workers=workers if workers is not None else (1 if resilient else None),
                 checkpoint_dir=checkpoint_dir,
                 retry=retry,
                 chaos=chaos,
                 resume=resume,
+                **executor_kwargs,
             )
             return executor.run_outcome(
                 points, seeds, failure_model, collector=collector
@@ -359,7 +368,9 @@ def run_sweep_outcome(
             run_point(p, seeds, failure_model, collector=collector, point_index=i)
             for i, p in enumerate(points)
         ]
-        return ResilientSweepOutcome(results)
+        from repro.resilience import SweepRunStats
+
+        return ResilientSweepOutcome(results, (), SweepRunStats(mode="serial"))
     finally:
         if collector is not None:
             collector.finalize()

@@ -55,6 +55,7 @@ class BalancingPredictor(Predictor):
         self.rule = rule
         self._mask_cache: dict[tuple[float, float], np.ndarray] = {}
         self._integral_cache: dict[tuple[float, float], np.ndarray] = {}
+        self._flagged_cache: dict[tuple[float, float], np.ndarray] = {}
 
     def begin_pass(self, now: float) -> None:
         # Windows are keyed on (t0, t1); bound the cache so week-long
@@ -62,6 +63,7 @@ class BalancingPredictor(Predictor):
         if len(self._mask_cache) > 64:
             self._mask_cache.clear()
             self._integral_cache.clear()
+            self._flagged_cache.clear()
 
     def _mask(self, t0: float, t1: float) -> np.ndarray:
         key = (t0, t1)
@@ -81,6 +83,15 @@ class BalancingPredictor(Predictor):
             integral = wrap_pad_integral(grid)
             self._integral_cache[key] = integral
         return integral
+
+    def _flagged(self, t0: float, t1: float) -> np.ndarray:
+        """Linear ids of the nodes flagged in the window (cached)."""
+        key = (t0, t1)
+        nodes = self._flagged_cache.get(key)
+        if nodes is None:
+            nodes = np.flatnonzero(self._mask(t0, t1))
+            self._flagged_cache[key] = nodes
+        return nodes
 
     def node_failure_probability(self, node: int, t0: float, t1: float) -> float:
         """``p_n^f`` for one linear node id."""
@@ -109,9 +120,18 @@ class BalancingPredictor(Predictor):
         """
         if self.confidence == 0.0:
             return np.zeros(bases.shape[0], dtype=np.float64)
-        counts = self.counts_in_partitions(
-            self._integral(dims, t0, t1), bases, shape, dims
-        )
+        flagged = self._flagged(t0, t1)
+        if flagged.size == 0:
+            # The common case for sparse failure logs: nothing flagged
+            # in the window, so every candidate's P_f is exactly 0 —
+            # skip the count gather entirely.
+            return np.zeros(bases.shape[0], dtype=np.float64)
+        if flagged.size <= self._MEMBERSHIP_CUTOVER:
+            counts = self._membership_counts(flagged, bases, shape, dims)
+        else:
+            counts = self.counts_in_partitions(
+                self._integral(dims, t0, t1), bases, shape, dims
+            )
         probs = np.zeros(bases.shape[0], dtype=np.float64)
         for count in np.unique(counts):
             if count > 0:
@@ -119,3 +139,32 @@ class BalancingPredictor(Predictor):
                     self.confidence, int(count), self.rule
                 )
         return probs
+
+    #: Flagged-node count up to which per-candidate counts come from
+    #: direct membership tests instead of a wrap-pad integral.  The
+    #: integral costs a fresh build per distinct window (window ends
+    #: vary per job, so it almost never amortises), while membership is
+    #: one broadcast over (candidates x flagged nodes); both produce
+    #: identical integer counts (``tests/prediction`` cross-validates).
+    _MEMBERSHIP_CUTOVER = 48
+
+    @staticmethod
+    def _membership_counts(
+        flagged: np.ndarray,
+        bases: np.ndarray,
+        shape,
+        dims: TorusDims,
+    ) -> np.ndarray:
+        """Flagged nodes inside each candidate box, by membership test.
+
+        A node ``p`` lies in the wrapped box ``(b, shape)`` iff
+        ``(p - b) mod P < extent`` on every axis — the same predicate
+        the integral's box sums count, evaluated directly.
+        """
+        fx, fy, fz = np.unravel_index(flagged, dims.as_tuple())
+        inside = (
+            (((fx[None, :] - bases[:, 0:1]) % dims.x) < shape[0])
+            & (((fy[None, :] - bases[:, 1:2]) % dims.y) < shape[1])
+            & (((fz[None, :] - bases[:, 2:3]) % dims.z) < shape[2])
+        )
+        return inside.sum(axis=1)

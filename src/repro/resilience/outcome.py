@@ -18,6 +18,10 @@ class SweepRunStats:
     Checkpoint counters mirror the :class:`CellStore` instance counters;
     retry counters separate *in-cell failures* (the cell itself raised)
     from *resubmits* (the cell was lost when its worker pool broke).
+    ``mode`` records how the executor actually ran the cells —
+    ``"parallel"`` (worker pool), ``"serial"`` (in-process, whether by
+    request, platform limits, or the small-sweep parallel cutover) or
+    ``"cached"`` (every cell restored/memoised, nothing executed).
     """
 
     checkpoint_hits: int = 0
@@ -29,9 +33,11 @@ class SweepRunStats:
     pool_rebuilds: int = 0
     degraded: bool = False
     quarantined: int = 0
+    mode: str = ""
 
     def summary_line(self) -> str:
         parts = [
+            f"mode={self.mode or 'unknown'}",
             f"cells computed={self.cells_computed}",
             f"checkpoint hits={self.checkpoint_hits}"
             f" misses={self.checkpoint_misses}"

@@ -1,0 +1,303 @@
+"""Differential harness: incremental index vs from-scratch rebuild.
+
+:class:`~repro.allocation.incremental.IncrementalPlacementIndex` patches
+its window-sum tensor and busy integral in place as the torus mutates;
+the from-scratch :class:`~repro.allocation.mfp.PlacementIndex` is the
+retained oracle (DESIGN.md §5.12).  The property tests here drive random
+alloc/free sequences — including wraparound boxes and full-axis-span
+shapes whose aliased bases must canonicalise — through the public torus
+API so the mutation journal records them, replay the journal onto one
+long-lived incremental index, and assert **bitwise** field-for-field
+equality with a fresh rebuild after every mutation.
+
+The poisoning tests prove the fallback contract: an opaque whole-grid
+mutation (or a journal gap longer than the repair budget) makes
+:class:`~repro.allocation.mfp.IndexCache` abandon the patch path and
+rebuild, with the ``index.incremental.*`` counters recording which path
+ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.incremental import IncrementalPlacementIndex
+from repro.allocation.mfp import IndexCache, PlacementIndex
+from repro.geometry.coords import TorusDims
+from repro.geometry.partition import Partition
+from repro.geometry.shapes import all_shapes
+from repro.geometry.torus import Torus
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.testing import random_partition, random_torus
+
+dims_strategy = st.builds(
+    TorusDims,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=5),
+)
+
+
+def mutate(torus: Torus, rng: np.random.Generator, live: dict, next_id: int) -> int:
+    """One random mutation through the public torus API.
+
+    Going through ``allocate``/``release`` (never direct grid writes) is
+    what makes the journal record the step.  Roughly 40% of steps free a
+    live job; the rest try a random allocation, with a bias towards
+    full-axis-span shapes so the aliased-base canonicalisation path gets
+    exercised (wraparound bases come free from ``random_partition``).
+    """
+    if live and rng.random() < 0.4:
+        job = sorted(live)[int(rng.integers(len(live)))]
+        torus.release(job)
+        del live[job]
+        return next_id
+    part = random_partition(torus.dims, rng)
+    if rng.random() < 0.3:
+        axis = int(rng.integers(3))
+        shape = list(part.shape)
+        shape[axis] = torus.dims.as_tuple()[axis]
+        part = Partition(part.base, (shape[0], shape[1], shape[2]))
+    if torus.is_free(part):
+        torus.allocate(next_id, part)
+        live[next_id] = part
+        return next_id + 1
+    return next_id
+
+
+def assert_matches_rebuild(inc: IncrementalPlacementIndex, torus: Torus) -> None:
+    """Field-for-field bitwise equality with a fresh oracle rebuild."""
+    fresh = PlacementIndex(torus)
+    assert inc.torus_version == torus.version
+    np.testing.assert_array_equal(inc._busy_integral, fresh._busy_integral)
+    shapes = all_shapes(torus.dims)
+    sizes = set()
+    for shape in shapes:
+        sizes.add(shape[0] * shape[1] * shape[2])
+        assert inc.count_placements(shape) == fresh.count_placements(shape)
+        np.testing.assert_array_equal(
+            inc._placements(shape), fresh._placements(shape)
+        )
+    assert inc.mfp_size() == fresh.mfp_size()
+    assert inc.mfp_partition() == fresh.mfp_partition()
+    for size in sorted(sizes):
+        assert inc.has_candidate(size) == fresh.has_candidate(size)
+    # Candidate enumeration (shape order, row-major bases, full-span
+    # canonicalisation) for a few representative sizes.
+    for size in {1, 2, min(sizes | {1}), max(sizes), inc.mfp_size()} - {0}:
+        got, ref = inc.candidate_batch(size), fresh.candidate_batch(size)
+        assert got.shapes == ref.shapes
+        assert got.starts == ref.starts
+        np.testing.assert_array_equal(got.bases, ref.bases)
+
+
+class TestIncrementalTracksMutations:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        dims=dims_strategy,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        steps=st.integers(min_value=1, max_value=8),
+    )
+    def test_equal_to_rebuild_after_every_mutation(self, dims, seed, steps):
+        rng = np.random.default_rng(seed)
+        torus = Torus(dims)
+        inc = IncrementalPlacementIndex(torus)
+        live: dict[int, Partition] = {}
+        next_id = 0
+        for _ in range(steps):
+            next_id = mutate(torus, rng, live, next_id)
+            entries = torus.journal_since(inc.torus_version)
+            assert entries is not None
+            inc.apply(entries, torus.version)
+            assert_matches_rebuild(inc, torus)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dims=dims_strategy,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        rounds=st.integers(min_value=1, max_value=3),
+        burst=st.integers(min_value=2, max_value=5),
+    )
+    def test_multi_entry_replay(self, dims, seed, rounds, burst):
+        """One ``apply`` spanning several journal entries is still exact."""
+        rng = np.random.default_rng(seed)
+        torus = Torus(dims)
+        inc = IncrementalPlacementIndex(torus)
+        live: dict[int, Partition] = {}
+        next_id = 0
+        for _ in range(rounds):
+            for _ in range(burst):
+                next_id = mutate(torus, rng, live, next_id)
+            entries = torus.journal_since(inc.torus_version)
+            assert entries is not None
+            inc.apply(entries, torus.version)
+            assert_matches_rebuild(inc, torus)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dims=dims_strategy,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_scoring_kernels_match_oracle(self, dims, seed):
+        """``_batch_excluding`` (bitmask path) vs the inherited probe
+        path vs the scalar early-exit walk, on a patched index."""
+        rng = np.random.default_rng(seed)
+        torus = Torus(dims)
+        inc = IncrementalPlacementIndex(torus)
+        live: dict[int, Partition] = {}
+        next_id = 0
+        for _ in range(4):
+            next_id = mutate(torus, rng, live, next_id)
+        entries = torus.journal_since(inc.torus_version)
+        assert entries is not None
+        inc.apply(entries, torus.version)
+        fresh = PlacementIndex(torus)
+        size = inc.mfp_size()
+        if size == 0:
+            return
+        batch = inc.candidate_batch(size)
+        if len(batch) == 0:
+            return
+        got = inc._batch_excluding(batch.bases, batch.shape_rows())
+        ref = PlacementIndex._batch_excluding(
+            fresh, batch.bases, batch.shape_rows()
+        )
+        np.testing.assert_array_equal(got, ref)
+        scalar = [
+            fresh._mfp_excluding_at(
+                (int(b[0]), int(b[1]), int(b[2])), batch.shape_of(i)
+            )
+            for i, b in enumerate(batch.bases[:8])
+        ]
+        np.testing.assert_array_equal(got[:8], scalar)
+        _, inc_losses = inc.batch_mfp_losses(size)
+        _, ref_losses = fresh.batch_mfp_losses(size)
+        np.testing.assert_array_equal(inc_losses, ref_losses)
+
+
+class TestFullSpanAliasing:
+    def test_full_span_slab_canonicalises_like_oracle(self):
+        """A wrapped full-axis-span slab: every aliased base along the
+        spanned axis names the same node set, and the batch keeps
+        exactly the canonical (axis = 0) representative."""
+        dims = TorusDims(4, 3, 2)
+        torus = Torus(dims)
+        # Spans x fully, wraps on y (base 2 + extent 2 > 3).
+        torus.allocate(0, Partition((3, 2, 0), (4, 2, 1)))
+        inc = IncrementalPlacementIndex(torus)
+        assert_matches_rebuild(inc, torus)
+        batch = inc.candidate_batch(dims.x)  # x-spanning shapes exist
+        for shape, _, bases in batch.groups():
+            for axis in range(3):
+                if shape[axis] == dims.as_tuple()[axis] and bases.size:
+                    assert (bases[:, axis] == 0).all()
+
+    def test_whole_machine_shape(self):
+        dims = TorusDims(2, 2, 3)
+        torus = Torus(dims)
+        inc = IncrementalPlacementIndex(torus)
+        assert_matches_rebuild(inc, torus)
+        batch = inc.candidate_batch(dims.volume)
+        assert len(batch) == 1
+        np.testing.assert_array_equal(batch.bases, [[0, 0, 0]])
+        torus.allocate(0, Partition((1, 1, 2), (1, 1, 1)))
+        inc.apply(torus.journal_since(inc.torus_version), torus.version)
+        assert_matches_rebuild(inc, torus)
+        assert len(inc.candidate_batch(dims.volume)) == 0
+
+
+class TestZallFallback:
+    def test_fallback_path_matches_fused_table(self):
+        """The per-axis zmask fallback (taken when the fused ``zall``
+        table is not built for the dims) is bitwise equal to it."""
+        dims = TorusDims(4, 4, 5)
+        torus = random_torus(dims, np.random.default_rng(7), attempts=10)
+        inc = IncrementalPlacementIndex(torus)
+        size = inc.mfp_size()
+        assert size > 0
+        batch = inc.candidate_batch(size)
+        assert len(batch) > 0
+        t = inc._tables
+        assert t.zall is not None
+        fast = inc._batch_excluding(batch.bases, batch.shape_rows())
+        saved = (t.zall, t.keyw)
+        t.zall = None
+        t.keyw = None
+        try:
+            slow = inc._batch_excluding(batch.bases, batch.shape_rows())
+        finally:
+            t.zall, t.keyw = saved
+        np.testing.assert_array_equal(fast, slow)
+
+
+class TestStaleVersionPoisoning:
+    def test_opaque_mutation_forces_fallback(self):
+        """snapshot/restore logs an opaque entry: the journal refuses to
+        replay across it, and IndexCache rebuilds (counter proves it)."""
+        torus = Torus(TorusDims(3, 3, 4))
+        registry = MetricsRegistry()
+        with obs_metrics.activate(registry):
+            cache = IndexCache(torus, incremental=True)
+            first = cache.get()
+            assert isinstance(first, IncrementalPlacementIndex)
+            torus.allocate(0, Partition((2, 2, 3), (2, 2, 2)))  # wraps
+            repaired = cache.get()
+            assert repaired is first  # patched in place
+            assert registry.counters["index.incremental.repair"].value == 1
+            snap = torus.snapshot()
+            torus.allocate(1, Partition((1, 1, 1), (1, 1, 1)))
+            torus.restore(snap)
+            assert torus.journal_since(repaired.torus_version) is None
+            rebuilt = cache.get()
+            assert rebuilt is not repaired
+            assert registry.counters["index.incremental.fallback"].value == 1
+        assert_matches_rebuild(rebuilt, torus)
+
+    def test_clear_is_opaque(self):
+        torus = Torus(TorusDims(2, 2, 2))
+        cache = IndexCache(torus, incremental=True)
+        index = cache.get()
+        torus.clear()
+        assert torus.journal_since(index.torus_version) is None
+        rebuilt = cache.get()
+        assert rebuilt is not index
+        assert_matches_rebuild(rebuilt, torus)
+
+    def test_long_gap_exceeding_repair_budget_falls_back(self):
+        """More journal entries than the repair budget: IndexCache must
+        prefer a rebuild over a long replay."""
+        torus = Torus(TorusDims(3, 3, 4))
+        registry = MetricsRegistry()
+        with obs_metrics.activate(registry):
+            cache = IndexCache(torus, incremental=True)
+            index = cache.get()
+            for job in range(10):  # > _MAX_PATCH_ENTRIES
+                torus.allocate(
+                    job, Partition((job % 3, (job // 3) % 3, job // 9), (1, 1, 1))
+                )
+            rebuilt = cache.get()
+            assert rebuilt is not index
+            assert registry.counters["index.incremental.fallback"].value == 1
+            assert "index.incremental.repair" not in registry.counters
+        assert_matches_rebuild(rebuilt, torus)
+
+    def test_future_version_returns_none(self):
+        torus = Torus(TorusDims(2, 2, 2))
+        assert torus.journal_since(torus.version + 1) is None
+
+    def test_hit_counter_on_unchanged_torus(self):
+        torus = Torus(TorusDims(2, 2, 2))
+        registry = MetricsRegistry()
+        with obs_metrics.activate(registry):
+            cache = IndexCache(torus, incremental=True)
+            index = cache.get()
+            assert cache.get() is index
+            assert registry.counters["index.incremental.hit"].value == 1
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -81,8 +81,9 @@ class TestSerialParallelEquivalence:
     def test_bitwise_identical_results(self, grid):
         points, seeds = GRIDS[grid]()
         # Parallel first, against cold caches, so it cannot piggyback on
-        # serially computed results.
-        parallel = run_sweep(points, seeds, workers=4)
+        # serially computed results; the cutover is pinned off so the
+        # small grid genuinely exercises the pool.
+        parallel = run_sweep(points, seeds, workers=4, min_cells_per_worker=0)
         sweep_mod._result_cache.clear()
         serial = run_sweep(points, seeds, workers=1)
         assert len(parallel) == len(serial) == len(points)
@@ -103,7 +104,7 @@ class TestSerialParallelEquivalence:
         keep = sweep_mod._result_cache[model_key]
         sweep_mod._result_cache.clear()
         sweep_mod._result_cache[model_key] = keep
-        parallel = run_sweep(points, seeds, workers=2)
+        parallel = run_sweep(points, seeds, workers=2, min_cells_per_worker=0)
         assert parallel == serial
         assert parallel[1] is keep
 
@@ -117,7 +118,7 @@ class TestWorkerFailure:
         )
         points, seeds = _parameter_axis_grid()
         with pytest.raises(ExperimentError, match="worker process died"):
-            SweepExecutor(workers=2).run(points, seeds)
+            SweepExecutor(workers=2, min_cells_per_worker=0).run(points, seeds)
 
     def test_worker_exception_propagates_type(self):
         """Ordinary worker exceptions keep their ReproError type.
@@ -130,7 +131,39 @@ class TestWorkerFailure:
             SweepPoint("no-such-site", 12, 1.0, 0, "krevat", 0.0),
         ]
         with pytest.raises(ReproError):
-            run_sweep(bad, (0, 1), workers=2)
+            run_sweep(bad, (0, 1), workers=2, min_cells_per_worker=0)
+
+
+class TestAutoSerialCutover:
+    """Small sweeps skip the pool: spawn + per-worker warm-up costs more
+    than parallelism buys (the committed BENCH_core.json had an 8-point
+    sweep *slower* with 2 workers than serial)."""
+
+    def test_small_sweep_runs_in_process(self):
+        points, seeds = _parameter_axis_grid()  # 3 cells < 10 * 2
+        outcome = SweepExecutor(workers=2).run_outcome(points, seeds)
+        assert outcome.stats.mode == "serial"
+        sweep_mod._result_cache.clear()
+        assert outcome.results == run_sweep(points, seeds, workers=1)
+
+    @needs_fork
+    def test_cutover_zero_forces_pool(self):
+        points, seeds = _parameter_axis_grid()
+        outcome = SweepExecutor(
+            workers=2, min_cells_per_worker=0
+        ).run_outcome(points, seeds)
+        assert outcome.stats.mode == "parallel"
+
+    def test_fully_cached_sweep_reports_cached(self):
+        points, seeds = _parameter_axis_grid()
+        executor = SweepExecutor(workers=1)
+        assert executor.run_outcome(points, seeds).stats.mode == "serial"
+        assert executor.run_outcome(points, seeds).stats.mode == "cached"
+
+    def test_mode_in_summary_line(self):
+        points, seeds = _parameter_axis_grid()
+        outcome = SweepExecutor(workers=2).run_outcome(points, seeds)
+        assert "mode=serial" in outcome.stats.summary_line()
 
 
 class TestFallbacksAndGuards:

@@ -108,7 +108,8 @@ class TestSerialParallelParity:
         _result_cache.clear()
         parallel = SweepObsCollector(trace_dir=parallel_dir)
         results_parallel = run_sweep(
-            points, seeds=(0, 1), workers=2, collector=parallel
+            points, seeds=(0, 1), workers=2, collector=parallel,
+            min_cells_per_worker=0,
         )
         assert results_parallel == results_serial
         assert parallel.metrics_dict() == serial.metrics_dict()

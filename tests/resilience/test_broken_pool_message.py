@@ -31,7 +31,7 @@ class TestBrokenPoolMessage:
             SweepPoint("sdsc", 12, 1.0, 2, "krevat", 0.0),
         ]
         with pytest.raises(ExperimentError) as excinfo:
-            SweepExecutor(workers=2).run(points, (0, 1))
+            SweepExecutor(workers=2, min_cells_per_worker=0).run(points, (0, 1))
         message = str(excinfo.value)
         assert "worker process died" in message
         # Every unfinished cell is named (all four died here).
@@ -52,6 +52,6 @@ class TestBrokenPoolMessage:
             for i in range(6)
         ]
         with pytest.raises(ExperimentError) as excinfo:
-            SweepExecutor(workers=2).run(points, (0, 1))
+            SweepExecutor(workers=2, min_cells_per_worker=0).run(points, (0, 1))
         message = str(excinfo.value)
         assert "more" in message  # 12 dead cells, 8 shown
