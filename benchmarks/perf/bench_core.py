@@ -16,8 +16,10 @@ Record schema (one object per benchmark)::
 cells/second for the sweep benches; ``wall_s`` is the best-of-repeats
 wall time of one measured batch.  Sweep records carry an extra
 ``mode`` key recording how the executor actually ran the cells
-(``serial``/``parallel`` — small grids auto-serialise, see
-``SweepExecutor.min_cells_per_worker``).
+(``serial``/``parallel``/``warm``/``queue``), and their ``workers``
+field is the executor's *actual* ``stats.workers_used`` — 1 whenever
+the auto-serial cutover refused the pool — never the requested count.
+``check_sweep_speedup.py`` gates on the sweep pair.
 
 Usage::
 
@@ -46,6 +48,7 @@ from repro.allocation.registry import get_finder
 from repro.core.backfill import ShadowTimeEngine, shadow_time_naive
 from repro.core.jobstate import JobState
 from repro.experiments import parallel as parallel_mod
+from repro.experiments import pool as pool_mod
 from repro.experiments import sweep as sweep_mod
 from repro.experiments.sweep import SweepPoint, run_sweep_outcome
 from repro.geometry.coords import BGL_SUPERNODE_DIMS
@@ -80,8 +83,10 @@ SCALES = {
     "smoke": Scale(
         micro_number=30,
         repeats=2,
-        sweep_points=3,
-        sweep_seeds=1,
+        sweep_points=4,
+        # Two seeds keep even the smoke grid (8 cells) above the bench's
+        # lowered cutover, so sweep_parallel really runs mode=warm.
+        sweep_seeds=2,
         sweep_jobs=25,
         master_failures=64,
     ),
@@ -456,7 +461,10 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
         run, ops = bench_sim_modes(scale, incremental, batch)
         record(name, best_of(run, scale.repeats), ops)
 
-    # End-to-end sweep, serial then parallel, equivalence-checked.
+    # End-to-end sweep, serial then warm-pool parallel, equivalence-
+    # checked.  ``workers`` in each record is the executor's actual
+    # stats.workers_used (1 when the cutover refused the pool), and
+    # ``mode`` is what really ran — never the requested configuration.
     points, seeds = _sweep_grid(scale)
     n_cells = len(points) * len(seeds)
     sweep_mod.MASTER_FAILURE_COUNT = scale.master_failures
@@ -467,27 +475,34 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
         "sweep_serial",
         time.perf_counter() - start,
         n_cells,
+        n_workers=serial_outcome.stats.workers_used,
         mode=serial_outcome.stats.mode,
     )
     serial = serial_outcome.results
 
-    # The executor is free to refuse the pool when the grid is too small
-    # to amortise worker spawn (min_cells_per_worker cutover); the
-    # record's ``mode`` says what actually ran.
+    # The parallel bench is the warm-pool large-grid fixture that
+    # check_sweep_speedup.py gates on: the cutover is lowered so the
+    # grid genuinely exercises the pool even at smoke scale, and the
+    # pool is pre-spawned so the record measures the steady state a
+    # figure regeneration (many sweeps, one pool) actually sees.
     parallel_workers = max(2, workers)
+    pool_mod.get_warm_pool().ensure(parallel_workers)
     _clear_sweep_caches()
     start = time.perf_counter()
     parallel_outcome = run_sweep_outcome(
-        points, seeds, workers=parallel_workers
+        points, seeds, workers=parallel_workers, min_cells_per_worker=2
     )
     record(
         "sweep_parallel",
         time.perf_counter() - start,
         n_cells,
-        n_workers=parallel_workers,
+        n_workers=parallel_outcome.stats.workers_used,
         mode=parallel_outcome.stats.mode,
+        chunk_size=parallel_outcome.stats.chunk_size,
+        pool_reused=parallel_outcome.stats.pool_reused,
     )
     parallel = parallel_outcome.results
+    pool_mod.shutdown_warm_pool()
     if serial != parallel:
         raise AssertionError(
             "serial and parallel sweeps disagree — equivalence broken"

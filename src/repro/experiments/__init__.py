@@ -10,6 +10,12 @@ from __future__ import annotations
 
 from repro.experiments.sweep import SweepPoint, SweepResult, run_point, run_sweep
 from repro.experiments.parallel import SweepExecutor, default_workers
+from repro.experiments.pool import (
+    WarmPool,
+    get_warm_pool,
+    shutdown_warm_pool,
+)
+from repro.experiments.queue import WorkQueue, run_queue_sweep, run_worker
 from repro.experiments.figures import (
     FigureResult,
     figure_registry,
@@ -26,9 +32,15 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepExecutor",
+    "WarmPool",
+    "WorkQueue",
     "default_workers",
+    "get_warm_pool",
     "run_point",
+    "run_queue_sweep",
     "run_sweep",
+    "run_worker",
+    "shutdown_warm_pool",
     "FigureResult",
     "figure_registry",
     "run_figure",

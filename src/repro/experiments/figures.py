@@ -111,6 +111,7 @@ def _assemble_series(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Run every series' points as one flat sweep and slice them back.
 
@@ -131,6 +132,7 @@ def _assemble_series(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
     short = incomplete_points(outcome, seeds)
     if short:
@@ -163,6 +165,7 @@ def _failure_rate_sweep(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     n_jobs = n_jobs or default_n_jobs()
     seeds = tuple(seeds or default_seeds())
@@ -188,6 +191,7 @@ def _failure_rate_sweep(
     return _assemble_series(
         result, series_points, seeds, workers,
         checkpoint_dir=checkpoint_dir, retry=retry, resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -204,6 +208,7 @@ def _parameter_sweep(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     n_jobs = n_jobs or default_n_jobs()
     seeds = tuple(seeds or default_seeds())
@@ -232,6 +237,7 @@ def _parameter_sweep(
     return _assemble_series(
         result, series_points, seeds, workers,
         checkpoint_dir=checkpoint_dir, retry=retry, resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -246,6 +252,7 @@ def fig3(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 3: avg bounded slowdown vs failure rate, SDSC, balancing,
     a in {0 (no prediction), 0.1, 0.9}."""
@@ -260,6 +267,7 @@ def fig3(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -270,6 +278,7 @@ def fig4(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 4: avg bounded slowdown vs failure rate for loads c=1.0/1.2
     (SDSC, balancing; the paper does not state the confidence — we use
@@ -285,6 +294,7 @@ def fig4(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -295,6 +305,7 @@ def fig5(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 5: utilization vs failure rate, SDSC, balancing (a=0.1),
     panels c=1.0 and c=1.2."""
@@ -309,6 +320,7 @@ def fig5(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -319,6 +331,7 @@ def fig6(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 6: avg bounded slowdown vs confidence, balancing, panels
     SDSC/NASA/LLNL, loads c=1.0 and c=1.2."""
@@ -335,6 +348,7 @@ def fig6(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -345,6 +359,7 @@ def fig7(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 7: utilization vs confidence, SDSC, balancing, c=1.0/1.2."""
     return _parameter_sweep(
@@ -360,6 +375,7 @@ def fig7(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -370,6 +386,7 @@ def fig8(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 8: utilization vs confidence, NASA, balancing, c=1.0/1.2."""
     return _parameter_sweep(
@@ -385,6 +402,7 @@ def fig8(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -395,6 +413,7 @@ def fig9(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 9: avg bounded slowdown vs accuracy, tie-breaking, panels
     SDSC/NASA/LLNL, loads c=1.0 and c=1.2."""
@@ -411,6 +430,7 @@ def fig9(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -421,6 +441,7 @@ def fig10(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Fig. 10: utilization vs accuracy, LLNL, tie-breaking, c=1.0/1.2."""
     return _parameter_sweep(
@@ -436,6 +457,7 @@ def fig10(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )
 
 
@@ -464,6 +486,7 @@ def run_figure(
     checkpoint_dir: str | None = None,
     retry: RetryPolicy | None = None,
     resume: bool = True,
+    queue_dir: str | None = None,
 ) -> FigureResult:
     """Regenerate one figure by name (``fig3`` .. ``fig10``)."""
     try:
@@ -479,4 +502,5 @@ def run_figure(
         checkpoint_dir=checkpoint_dir,
         retry=retry,
         resume=resume,
+        queue_dir=queue_dir,
     )

@@ -11,9 +11,15 @@ order :func:`~repro.experiments.sweep.run_point` uses.
 Two execution regimes share the cell enumeration:
 
 * the **fast path** (no resilience options) chunks cells contiguously
-  to amortise IPC and hit worker-side caches — unchanged hot path, zero
-  overhead; a dead worker aborts the sweep with an error naming the
-  unfinished cells;
+  to amortise IPC and hit worker-side caches; by default it runs on the
+  persistent **warm pool** (:mod:`repro.experiments.pool`): workers are
+  spawned once per process lifetime and reused across ``run_sweep``
+  calls, each seed group's workload/master-log inputs are built once in
+  the parent and shipped through a shared-memory arena (so the next
+  seed's inputs generate while workers crunch the current one), and
+  chunk size adapts to the measured per-cell cost.  ``warm=False``
+  falls back to the cold per-sweep pool.  Either way a dead worker
+  aborts the sweep with an error naming the unfinished cells;
 * the **resilient path** (any of ``checkpoint_dir`` / ``retry`` /
   ``chaos`` set) submits one cell per task so failures are attributable:
   completed cells are persisted atomically through
@@ -56,6 +62,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import ExperimentError
+from repro.experiments import pool as pool_mod
 from repro.experiments.sweep import (
     SweepPoint,
     SweepResult,
@@ -194,7 +201,14 @@ class SweepExecutor:
         when workers were requested — pool spawn plus per-worker table
         warm-up costs more than it buys on small grids (BENCH_core.json
         had an 8-point sweep *slower* with 2 workers than serial).  Set
-        to 0 to force the pool whenever workers > 1.
+        to 0 to force the pool whenever workers > 1.  The cutover is
+        decided *before* any pool exists, so sub-cutover grids never
+        spin up (or touch) the warm pool.
+    warm:
+        Fast-path pool regime: ``True`` (default) runs on the
+        process-wide persistent warm pool with shared-memory arenas
+        (:mod:`repro.experiments.pool`); ``False`` restores the cold
+        per-sweep pool.  Results are bitwise identical either way.
     sleep:
         Backoff clock, injectable so tests can fake it.
     """
@@ -207,6 +221,7 @@ class SweepExecutor:
     chaos: ChaosConfig | None = None
     resume: bool = True
     min_cells_per_worker: int = 10
+    warm: bool = True
     sleep: Callable[[float], None] = field(default=time.sleep)
 
     @property
@@ -284,6 +299,8 @@ class SweepExecutor:
                 points, pending, seeds, model, n_workers, collector, results, stats
             )
 
+        # The serial cutover is decided here, before any pool is touched:
+        # a sub-cutover grid must never pay a warm-pool spawn.
         n_cells = len(pending) * len(seeds)
         auto_serial = n_cells < self.min_cells_per_worker * n_workers
         if n_workers <= 1 or n_cells <= 1 or auto_serial or not fork_available():
@@ -295,9 +312,8 @@ class SweepExecutor:
                 )
             elif n_workers > 1 and auto_serial:
                 logger.info(
-                    "%d cells is below the parallel cutover "
-                    "(min_cells_per_worker=%d x %d workers); running "
-                    "in-process",
+                    "sweep mode: serial — %d cells is below the parallel "
+                    "cutover (min_cells_per_worker=%d x %d workers)",
                     n_cells,
                     self.min_cells_per_worker,
                     n_workers,
@@ -309,10 +325,24 @@ class SweepExecutor:
                 )
             return ResilientSweepOutcome(results, (), stats)
 
-        stats.mode = "parallel"
-        reports, observations = self._execute(
-            points, pending, seeds, model, n_workers, with_obs=collector is not None
+        stats.mode = "warm" if self.warm else "parallel"
+        stats.workers_used = n_workers
+        logger.info(
+            "sweep mode: %s — %d cells over %d workers",
+            stats.mode,
+            n_cells,
+            n_workers,
         )
+        if self.warm:
+            reports, observations = self._execute_warm(
+                points, pending, seeds, model, n_workers, stats,
+                with_obs=collector is not None,
+            )
+        else:
+            reports, observations = self._execute(
+                points, pending, seeds, model, n_workers,
+                with_obs=collector is not None,
+            )
         if collector is not None:
             for (i, si), obs in observations.items():
                 collector.add_cell(i, si, obs)
@@ -421,6 +451,143 @@ class SweepExecutor:
         return reports, observations
 
     # ------------------------------------------------------------------
+    # warm path: persistent pool, shared-memory arenas, pipelined seeds
+    # ------------------------------------------------------------------
+    def _execute_warm(
+        self,
+        points: Sequence[SweepPoint],
+        pending: Sequence[int],
+        seeds: tuple[int, ...],
+        model: BurstFailureModel,
+        n_workers: int,
+        stats: SweepRunStats,
+        with_obs: bool = False,
+    ) -> tuple[
+        dict[tuple[int, int], SimulationReport],
+        dict[tuple[int, int], CellObs],
+    ]:
+        """Run the uncached cells on the persistent warm pool.
+
+        Seed groups are pipelined: seed ``k``'s chunks are submitted the
+        moment its arena is built, then seed ``k+1``'s inputs generate
+        in the parent while the workers crunch — the serial prologue
+        (workload + master-log generation) overlaps cell execution
+        instead of preceding it.  Each arena ships only cache entries no
+        earlier arena of this sweep carried, so total arena bytes stay
+        proportional to the distinct inputs.
+        """
+        warm = pool_mod.get_warm_pool()
+        spawns_before = warm.spawns
+        executor = warm.ensure(n_workers)
+        stats.pool_reused = warm.spawns == spawns_before
+
+        n_cells = len(pending) * len(seeds)
+        chunk_size = self.chunk_size or pool_mod.adaptive_chunk_size(
+            n_cells, n_workers, pool_mod.cell_cost_estimate_s()
+        )
+        stats.chunk_size = chunk_size
+        reports: dict[tuple[int, int], SimulationReport] = {}
+        observations: dict[tuple[int, int], CellObs] = {}
+        started = time.monotonic()
+        last_log = started
+
+        def collect(done_futures) -> None:
+            nonlocal last_log
+            for future in done_futures:
+                for cell_id, report, obs in future.result():
+                    reports[cell_id] = report
+                    if obs is not None:
+                        observations[cell_id] = obs
+            now = time.monotonic()
+            if now - last_log >= self.log_interval_s and reports:
+                last_log = now
+                elapsed = now - started
+                rate = len(reports) / elapsed
+                remaining = (n_cells - len(reports)) / rate if rate else 0.0
+                logger.info(
+                    "sweep progress: %d/%d cells (%.2f cells/s, ETA %.0fs)",
+                    len(reports),
+                    n_cells,
+                    rate,
+                    remaining,
+                )
+
+        arenas: list[pool_mod.SharedArena] = []
+        shipped: set = set()
+        futures: set = set()
+        try:
+            try:
+                for si in range(len(seeds)):
+                    arena = pool_mod.build_seed_arena(
+                        points, pending, seeds[si], model,
+                        warm.next_generation(), shipped,
+                    )
+                    arenas.append(arena)
+                    stats.arena_bytes += arena.handle.size
+                    group: list[Cell] = [
+                        ((i, si), points[i], seeds[si]) for i in pending
+                    ]
+                    for lo in range(0, len(group), chunk_size):
+                        futures.add(
+                            executor.submit(
+                                pool_mod._warm_run_chunk,
+                                arena.handle,
+                                group[lo : lo + chunk_size],
+                                model,
+                                with_obs,
+                            )
+                        )
+                    # Opportunistic drain between seed groups keeps the
+                    # result dict and progress log current without
+                    # blocking the next arena build.
+                    finished = {f for f in futures if f.done()}
+                    futures -= finished
+                    collect(finished)
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    collect(done)
+            except BrokenProcessPool as exc:
+                warm.mark_broken()
+                unfinished = sorted(
+                    (i, si)
+                    for si in range(len(seeds))
+                    for i in pending
+                    if (i, si) not in reports
+                )
+                shown = ", ".join(
+                    f"(point {pi}, seed#{si})" for pi, si in unfinished[:8]
+                )
+                if len(unfinished) > 8:
+                    shown += f", ... {len(unfinished) - 8} more"
+                raise ExperimentError(
+                    f"warm-pool sweep worker process died before finishing its "
+                    f"cells (killed or crashed); {len(reports)}/{n_cells} "
+                    f"cells completed; unfinished after 1 attempt: {shown}; "
+                    f"the warm pool will respawn on the next sweep; pass "
+                    f"retry=RetryPolicy(...) to run_sweep for automatic "
+                    f"resubmission, or rerun with workers=1 to isolate"
+                ) from exc
+        finally:
+            # All futures have resolved (success path drained them; the
+            # breakage path shut the pool down), so no worker can still
+            # attach these arenas.
+            for arena in arenas:
+                arena.unlink()
+        elapsed = time.monotonic() - started
+        pool_mod.observe_cell_cost(elapsed / n_cells if n_cells else 0.0)
+        logger.info(
+            "sweep complete: %d cells in %.1fs (%.2f cells/s, "
+            "chunk_size=%d, arena=%dB, pool %s)",
+            n_cells,
+            elapsed,
+            n_cells / elapsed if elapsed > 0 else float("inf"),
+            chunk_size,
+            stats.arena_bytes,
+            "reused" if stats.pool_reused else "spawned",
+        )
+        return reports, observations
+
+    # ------------------------------------------------------------------
     # resilient path: checkpoint restore, per-cell retry, quarantine
     # ------------------------------------------------------------------
     def _run_resilient(
@@ -476,6 +643,7 @@ class SweepExecutor:
             stats.mode = "cached"
         elif n_workers > 1 and len(remaining) > 1 and fork_available():
             stats.mode = "parallel"
+            stats.workers_used = n_workers
         else:
             stats.mode = "serial"
         if remaining:

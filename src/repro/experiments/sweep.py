@@ -133,8 +133,18 @@ _workload_cache: dict[tuple, Workload] = {}
 _master_log_cache: dict[tuple, FailureLog] = {}
 
 
+def workload_cache_key(point: SweepPoint, seed: int) -> tuple:
+    """Cache key of the workload one ``(point, seed)`` cell replays.
+
+    Exposed (with :func:`master_log_cache_key`) so the warm-pool arena
+    builder in :mod:`repro.experiments.pool` can snapshot exactly the
+    cache entries a sweep's cells will look up.
+    """
+    return (point.site, point.n_jobs, point.load_scale, seed, point.config.dims.as_tuple())
+
+
 def _workload_for(point: SweepPoint, seed: int) -> Workload:
-    key = (point.site, point.n_jobs, point.load_scale, seed, point.config.dims.as_tuple())
+    key = workload_cache_key(point, seed)
     workload = _workload_cache.get(key)
     if workload is None:
         raw = generate_workload(site_model(point.site), point.n_jobs, seed=seed)
@@ -148,13 +158,21 @@ def _workload_for(point: SweepPoint, seed: int) -> Workload:
 MASTER_FAILURE_COUNT = 8192
 
 
+def master_log_cache_key(
+    point: SweepPoint, workload: Workload, seed: int, model: BurstFailureModel
+) -> tuple:
+    """Cache key of the master failure log a cell thins its failures from."""
+    horizon = max(workload.span * 1.5, 3600.0)
+    return (point.config.dims.as_tuple(), round(horizon, 3), seed, model)
+
+
 def _failures_for(
     point: SweepPoint, workload: Workload, seed: int, model: BurstFailureModel
 ) -> FailureLog:
-    horizon = max(workload.span * 1.5, 3600.0)
-    key = (point.config.dims.as_tuple(), round(horizon, 3), seed, model)
+    key = master_log_cache_key(point, workload, seed, model)
     master = _master_log_cache.get(key)
     if master is None:
+        horizon = max(workload.span * 1.5, 3600.0)
         master = generate_failures(
             point.config.dims, MASTER_FAILURE_COUNT, horizon, model=model, seed=seed + 1
         )
@@ -276,6 +294,7 @@ def run_sweep(
     chaos=None,
     resume: bool = True,
     min_cells_per_worker: int | None = None,
+    queue_dir=None,
 ) -> list[SweepResult]:
     """Run every cell of a sweep.
 
@@ -309,6 +328,7 @@ def run_sweep(
         chaos=chaos,
         resume=resume,
         min_cells_per_worker=min_cells_per_worker,
+        queue_dir=queue_dir,
     ).results
 
 
@@ -324,6 +344,7 @@ def run_sweep_outcome(
     chaos=None,
     resume: bool = True,
     min_cells_per_worker: int | None = None,
+    queue_dir=None,
 ):
     """Run a sweep and return the full
     :class:`~repro.resilience.ResilientSweepOutcome`.
@@ -336,11 +357,49 @@ def run_sweep_outcome(
     aborting) or ``chaos`` (deterministic fault injection, tests only)
     is set — with ``workers`` 1 or ``None`` it runs in-process but keeps
     the full checkpoint/retry contract.
+
+    ``queue_dir`` selects the shared-directory multi-host backend
+    instead (see :mod:`repro.experiments.queue`): cells are pulled by
+    ``bgl-sim sweep-worker`` processes (``workers`` of them spawned
+    locally) and merged from their checkpoints — still
+    bitwise-identical to serial.  It subsumes ``checkpoint_dir`` (the
+    queue directory *is* the checkpoint store) and does not combine
+    with ``chaos`` or a ``collector`` (queue cells run in separate
+    processes whose observability is not shipped back).
     """
     from repro.experiments.parallel import SweepExecutor
     from repro.resilience import ResilientSweepOutcome
 
     seeds = tuple(seeds)
+    if queue_dir is not None:
+        if checkpoint_dir is not None:
+            raise ExperimentError(
+                "queue_dir subsumes checkpoint_dir (checkpoints live in "
+                "the queue directory); pass only queue_dir"
+            )
+        if chaos is not None and chaos.enabled:
+            raise ExperimentError(
+                "chaos injection is not supported on the queue backend; "
+                "use a worker's kill_after_claims hook instead"
+            )
+        if collector is not None:
+            raise ExperimentError(
+                "observability collectors are not supported on the "
+                "queue backend (cells run in unattached processes)"
+            )
+        from repro.experiments.queue import run_queue_sweep
+
+        queue_kwargs = {}
+        if retry is not None:
+            queue_kwargs["max_attempts"] = retry.max_attempts
+        return run_queue_sweep(
+            points,
+            seeds,
+            failure_model,
+            queue_dir=queue_dir,
+            workers=workers if workers is not None else 2,
+            **queue_kwargs,
+        )
     resilient = (
         checkpoint_dir is not None
         or retry is not None

@@ -34,6 +34,8 @@ from repro.resilience.store import (
     cell_key,
     describe_model,
     describe_point,
+    model_from_dict,
+    point_from_dict,
 )
 
 __all__ = [
@@ -54,4 +56,6 @@ __all__ = [
     "describe_point",
     "incomplete_points",
     "inject_pre_cell",
+    "model_from_dict",
+    "point_from_dict",
 ]

@@ -19,9 +19,16 @@ class SweepRunStats:
     retry counters separate *in-cell failures* (the cell itself raised)
     from *resubmits* (the cell was lost when its worker pool broke).
     ``mode`` records how the executor actually ran the cells —
-    ``"parallel"`` (worker pool), ``"serial"`` (in-process, whether by
-    request, platform limits, or the small-sweep parallel cutover) or
-    ``"cached"`` (every cell restored/memoised, nothing executed).
+    ``"warm"`` (persistent warm pool with shared-memory arenas, the
+    fast-path default), ``"parallel"`` (cold per-sweep worker pool),
+    ``"queue"`` (directory-backed multi-host work queue),
+    ``"serial"`` (in-process, whether by request, platform limits, or
+    the small-sweep parallel cutover) or ``"cached"`` (every cell
+    restored/memoised, nothing executed).  ``workers_used`` is the
+    worker count the chosen mode actually employed (1 for serial),
+    ``chunk_size`` the cells-per-task the fan-out used, and
+    ``arena_bytes`` the total shared-memory payload shipped by the warm
+    path — benches record all three so a run's regime is auditable.
     """
 
     checkpoint_hits: int = 0
@@ -34,10 +41,15 @@ class SweepRunStats:
     degraded: bool = False
     quarantined: int = 0
     mode: str = ""
+    workers_used: int = 1
+    chunk_size: int = 0
+    arena_bytes: int = 0
+    pool_reused: bool = False
 
     def summary_line(self) -> str:
         parts = [
             f"mode={self.mode or 'unknown'}",
+            f"workers={self.workers_used}",
             f"cells computed={self.cells_computed}",
             f"checkpoint hits={self.checkpoint_hits}"
             f" misses={self.checkpoint_misses}"

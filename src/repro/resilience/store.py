@@ -111,6 +111,70 @@ def describe_model(model: "BurstFailureModel") -> dict[str, Any]:
     return dataclasses.asdict(model)
 
 
+def point_from_dict(data: dict[str, Any]) -> "SweepPoint":
+    """Reconstruct a :class:`SweepPoint` from :func:`describe_point` output.
+
+    The inverse covers exactly the behavioural fields the description
+    carries; observational config flags (``trace``/``profile``/invariant
+    checking) and the bitwise-equivalent engine toggles
+    (``incremental_index``/``batch_events``) come back as defaults —
+    by the store's own contract the report is bit-identical regardless,
+    which is what lets queue workers rebuild a cell from its task record
+    and still land a checkpoint the driver merges bitwise with serial.
+    """
+    from repro.checkpoint.model import CheckpointConfig, CheckpointMode
+    from repro.core.config import BackfillMode, SimulationConfig
+    from repro.experiments.sweep import SweepPoint
+    from repro.geometry.coords import TorusDims
+    from repro.metrics.timing import BoundedSlowdownRule
+    from repro.prediction.base import PartitionFailureRule
+
+    try:
+        cfg = data["config"]
+        config = SimulationConfig(
+            dims=TorusDims(*cfg["dims"]),
+            backfill=BackfillMode(cfg["backfill"]),
+            migration=cfg["migration"],
+            migration_cost_s=cfg["migration_cost_s"],
+            gamma=cfg["gamma"],
+            slowdown_rule=BoundedSlowdownRule(cfg["slowdown_rule"]),
+            checkpoint=CheckpointConfig(
+                mode=CheckpointMode(cfg["checkpoint"]["mode"]),
+                interval_s=cfg["checkpoint"]["interval_s"],
+                overhead_s=cfg["checkpoint"]["overhead_s"],
+                hit_probability=cfg["checkpoint"]["hit_probability"],
+            ),
+            seed=cfg["seed"],
+            max_events=cfg["max_events"],
+        )
+        return SweepPoint(
+            site=data["site"],
+            n_jobs=data["n_jobs"],
+            load_scale=data["load_scale"],
+            n_failures=data["n_failures"],
+            policy=data["policy"],
+            parameter=data["parameter"],
+            pf_rule=PartitionFailureRule[data["pf_rule"]],
+            config=config,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ResilienceError(
+            f"cannot reconstruct sweep point from record: {exc}"
+        ) from exc
+
+
+def model_from_dict(data: dict[str, Any]) -> "BurstFailureModel":
+    """Reconstruct a failure model from :func:`describe_model` output."""
+    from repro.failures.synthetic import BurstFailureModel
+
+    try:
+        return BurstFailureModel(**data)
+    except TypeError as exc:
+        raise ResilienceError(
+            f"cannot reconstruct failure model from record: {exc}"
+        ) from exc
+
+
 def cell_key(point: "SweepPoint", seed: int, model: "BurstFailureModel") -> str:
     """Content hash identifying one ``(point, seed)`` cell's inputs.
 
@@ -162,6 +226,16 @@ class CellStore:
 
     def path_for(self, key: str) -> Path:
         return self.cells_dir / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Cheap existence probe (no verification, no counter traffic).
+
+        Queue workers use this to skip cells another worker already
+        completed; the driver's merge still goes through the verified
+        :meth:`get`, so a corrupt file can only cost a recomputation,
+        never poison a result.
+        """
+        return self.path_for(key).exists()
 
     def __len__(self) -> int:
         return sum(1 for _ in self._cell_files())

@@ -58,7 +58,18 @@ def test_smoke_scale_produces_trajectory_file(bench_core, tmp_path):
         assert r["wall_s"] >= 0.0
         assert r["workers"] >= 1
     by_name = {r["bench"]: r for r in records}
-    assert by_name["sweep_parallel"]["workers"] >= 2
+    # Sweep records must carry what actually ran, not the requested
+    # configuration: the serial record is pinned to one worker, and the
+    # parallel record reports the executor's workers_used and mode.
+    assert by_name["sweep_serial"]["workers"] == 1
+    assert by_name["sweep_serial"]["mode"] == "serial"
+    from repro.experiments.parallel import fork_available
+
+    if fork_available():
+        assert by_name["sweep_parallel"]["workers"] >= 2
+        assert by_name["sweep_parallel"]["mode"] == "warm"
+    else:
+        assert by_name["sweep_parallel"]["mode"] == "serial"
 
 
 def test_repo_trajectory_file_is_current(bench_core):

@@ -17,9 +17,11 @@ import os
 import pytest
 
 import repro.experiments.parallel as parallel_mod
+import repro.experiments.pool as pool_mod
 import repro.experiments.sweep as sweep_mod
 from repro.errors import ExperimentError, ReproError
 from repro.experiments.parallel import SweepExecutor, default_workers, fork_available
+from repro.experiments.pool import shutdown_warm_pool
 from repro.experiments.sweep import SweepPoint, run_sweep
 
 needs_fork = pytest.mark.skipif(
@@ -34,12 +36,16 @@ def small_master_log(monkeypatch):
     The patched ``MASTER_FAILURE_COUNT`` changes what ``_failures_for``
     generates, and the master-log cache is not keyed on the count, so
     both caches must be emptied on entry *and* exit to keep other test
-    modules honest.  Forked workers inherit the patched constant.
+    modules honest.  The warm pool is torn down around every test so
+    each test's workers fork *after* its monkeypatches — the persistent
+    pool would otherwise keep workers from before the patch.
     """
+    shutdown_warm_pool()
     monkeypatch.setattr(sweep_mod, "MASTER_FAILURE_COUNT", 64)
     sweep_mod._result_cache.clear()
     sweep_mod._master_log_cache.clear()
     yield
+    shutdown_warm_pool()
     sweep_mod._result_cache.clear()
     sweep_mod._master_log_cache.clear()
 
@@ -111,14 +117,36 @@ class TestSerialParallelEquivalence:
 
 @needs_fork
 class TestWorkerFailure:
-    def test_worker_crash_surfaces_as_experiment_error(self, monkeypatch):
-        """A worker that dies mid-cell must raise, not hang the sweep."""
+    def test_warm_worker_crash_surfaces_as_experiment_error(self, monkeypatch):
+        """A warm-pool worker that dies mid-cell must raise, not hang.
+
+        Warm workers reach ``simulate_cell`` through the sweep module
+        (via :func:`repro.experiments.pool._warm_run_chunk`), so that is
+        the patch target; the autouse fixture's pool teardown guarantees
+        the workers fork after the patch.  The breakage must also mark
+        the pool so the *next* sweep respawns instead of reusing a dead
+        executor.
+        """
+        monkeypatch.setattr(
+            sweep_mod, "simulate_cell", lambda *a: os._exit(13)
+        )
+        points, seeds = _parameter_axis_grid()
+        with pytest.raises(ExperimentError, match="worker process died"):
+            SweepExecutor(workers=2, min_cells_per_worker=0).run(points, seeds)
+        assert not pool_mod.get_warm_pool().alive
+
+    def test_cold_worker_crash_surfaces_as_experiment_error(self, monkeypatch):
+        """Same contract on the cold per-sweep pool (``warm=False``),
+        whose workers reach ``simulate_cell`` through the parallel
+        module's import."""
         monkeypatch.setattr(
             parallel_mod, "simulate_cell", lambda *a: os._exit(13)
         )
         points, seeds = _parameter_axis_grid()
         with pytest.raises(ExperimentError, match="worker process died"):
-            SweepExecutor(workers=2, min_cells_per_worker=0).run(points, seeds)
+            SweepExecutor(
+                workers=2, min_cells_per_worker=0, warm=False
+            ).run(points, seeds)
 
     def test_worker_exception_propagates_type(self):
         """Ordinary worker exceptions keep their ReproError type.
@@ -152,7 +180,30 @@ class TestAutoSerialCutover:
         outcome = SweepExecutor(
             workers=2, min_cells_per_worker=0
         ).run_outcome(points, seeds)
+        assert outcome.stats.mode == "warm"
+        assert outcome.stats.workers_used == 2
+        assert outcome.stats.chunk_size >= 1
+
+    @needs_fork
+    def test_cold_pool_mode_is_parallel(self):
+        points, seeds = _parameter_axis_grid()
+        outcome = SweepExecutor(
+            workers=2, min_cells_per_worker=0, warm=False
+        ).run_outcome(points, seeds)
         assert outcome.stats.mode == "parallel"
+        assert outcome.stats.workers_used == 2
+
+    @needs_fork
+    def test_sub_cutover_grid_never_touches_warm_pool(self):
+        """The serial cutover must be decided before any pool exists —
+        a small grid must not pay a warm-pool spawn."""
+        points, seeds = _parameter_axis_grid()  # 3 cells < 10 * 2
+        warm = pool_mod.get_warm_pool()
+        spawns_before = warm.spawns
+        outcome = SweepExecutor(workers=2).run_outcome(points, seeds)
+        assert outcome.stats.mode == "serial"
+        assert warm.spawns == spawns_before
+        assert not warm.alive
 
     def test_fully_cached_sweep_reports_cached(self):
         points, seeds = _parameter_axis_grid()

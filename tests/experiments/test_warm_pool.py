@@ -1,0 +1,244 @@
+"""Warm-pool engine unit and integration tests.
+
+Covers the three mechanisms :mod:`repro.experiments.pool` adds over the
+cold path — pool persistence across ``run_sweep`` calls, shared-memory
+arena shipping (both backends), adaptive chunk sizing fed by the
+per-cell cost EMA — plus their cleanup contracts (arena unlink, broken
+pool respawn, idempotent shutdown).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.experiments.pool as pool_mod
+import repro.experiments.sweep as sweep_mod
+from repro.experiments.parallel import SweepExecutor, fork_available
+from repro.experiments.pool import (
+    ArenaHandle,
+    SharedArena,
+    adaptive_chunk_size,
+    get_warm_pool,
+    shutdown_warm_pool,
+)
+from repro.experiments.sweep import SweepPoint, run_sweep
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+@pytest.fixture(autouse=True)
+def pool_isolation(monkeypatch):
+    """Small master logs, cold caches, fresh pool and EMA per test.
+
+    The pool teardown before the patch guarantees every test's workers
+    fork *after* ``MASTER_FAILURE_COUNT`` is shrunk (a persistent pool
+    would otherwise carry workers from before the patch).
+    """
+    shutdown_warm_pool()
+    pool_mod.reset_cell_cost_estimate()
+    monkeypatch.setattr(sweep_mod, "MASTER_FAILURE_COUNT", 64)
+    sweep_mod._result_cache.clear()
+    sweep_mod._master_log_cache.clear()
+    yield
+    shutdown_warm_pool()
+    pool_mod.reset_cell_cost_estimate()
+    sweep_mod._result_cache.clear()
+    sweep_mod._master_log_cache.clear()
+
+
+def _grid() -> tuple[list[SweepPoint], tuple[int, ...]]:
+    points = [
+        SweepPoint("nasa", 20, 1.0, f, "balancing", 0.3) for f in (0, 2, 4)
+    ]
+    return points, (0, 1)
+
+
+# ----------------------------------------------------------------------
+# arenas
+# ----------------------------------------------------------------------
+
+class TestSharedArena:
+    @pytest.mark.parametrize("backend", ["shm", "file"])
+    def test_roundtrip(self, backend):
+        payload = pickle.dumps({"k": list(range(100))})
+        arena = SharedArena(payload, generation=1, backend=backend)
+        try:
+            assert arena.handle.size == len(payload)
+            assert pool_mod._read_arena(arena.handle) == payload
+        finally:
+            arena.unlink()
+
+    def test_unlink_is_idempotent_and_reaps_tracking(self):
+        arena = SharedArena(b"x" * 16, generation=2)
+        assert arena in pool_mod._live_arenas
+        arena.unlink()
+        assert arena not in pool_mod._live_arenas
+        arena.unlink()  # second unlink is a no-op, not an error
+
+    def test_file_backend_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARENA_BACKEND", "file")
+        arena = SharedArena(b"payload", generation=3)
+        try:
+            assert arena.handle.backend == "file"
+            assert pool_mod._read_arena(arena.handle) == b"payload"
+        finally:
+            arena.unlink()
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="arena backend"):
+            SharedArena(b"x", generation=4, backend="carrier-pigeon")
+        with pytest.raises(ExperimentError, match="arena backend"):
+            pool_mod._read_arena(
+                ArenaHandle(backend="bogus", name="x", size=1, generation=5)
+            )
+
+
+# ----------------------------------------------------------------------
+# adaptive chunking + cost EMA
+# ----------------------------------------------------------------------
+
+class TestAdaptiveChunking:
+    def test_no_estimate_uses_balance_bound(self):
+        # 64 cells / (2 workers * 4 chunks each) = 8 cells per chunk.
+        assert adaptive_chunk_size(64, 2, None) == 8
+        assert adaptive_chunk_size(3, 2, None) == 1
+
+    def test_expensive_cells_shrink_chunks(self):
+        # 1s cells against a 0.25s target: one cell per chunk.
+        assert adaptive_chunk_size(64, 2, 1.0) == 1
+
+    def test_cheap_cells_capped_by_balance_bound(self):
+        # 1ms cells would target 250-cell chunks; the balance bound wins
+        # so no worker's queue hides behind one straggler chunk.
+        assert adaptive_chunk_size(64, 2, 0.001) == 8
+
+    def test_intermediate_cost_targets_wall_clock(self):
+        # 50ms cells: 0.25 / 0.05 = 5 cells per chunk, under the bound.
+        assert adaptive_chunk_size(640, 2, 0.05) == 5
+
+    def test_ema_feedback(self):
+        assert pool_mod.cell_cost_estimate_s() is None
+        pool_mod.observe_cell_cost(0.1)
+        assert pool_mod.cell_cost_estimate_s() == pytest.approx(0.1)
+        pool_mod.observe_cell_cost(0.3)
+        # alpha=0.5: 0.5*0.3 + 0.5*0.1
+        assert pool_mod.cell_cost_estimate_s() == pytest.approx(0.2)
+
+    def test_ema_rejects_degenerate_samples(self):
+        pool_mod.observe_cell_cost(0.0)
+        pool_mod.observe_cell_cost(-1.0)
+        pool_mod.observe_cell_cost(float("nan"))
+        pool_mod.observe_cell_cost(float("inf"))
+        assert pool_mod.cell_cost_estimate_s() is None
+
+
+# ----------------------------------------------------------------------
+# pool lifecycle
+# ----------------------------------------------------------------------
+
+@needs_fork
+class TestPoolLifecycle:
+    def test_pool_persists_across_run_sweep_calls(self):
+        points, seeds = _grid()
+        warm = get_warm_pool()
+        spawns_before = warm.spawns
+        first = run_sweep(points, seeds, workers=2, min_cells_per_worker=0)
+        sweep_mod._result_cache.clear()
+        second = run_sweep(points, seeds, workers=2, min_cells_per_worker=0)
+        assert warm.spawns == spawns_before + 1  # spawned exactly once
+        assert warm.reuses >= 1
+        assert warm.alive
+        assert first == second
+
+    def test_second_sweep_reports_pool_reused(self):
+        points, seeds = _grid()
+        executor = SweepExecutor(workers=2, min_cells_per_worker=0)
+        outcome = executor.run_outcome(points, seeds)
+        assert outcome.stats.mode == "warm"
+        assert not outcome.stats.pool_reused  # first use spawned
+        sweep_mod._result_cache.clear()
+        outcome = executor.run_outcome(points, seeds)
+        assert outcome.stats.pool_reused
+
+    def test_size_change_respawns(self):
+        warm = get_warm_pool()
+        spawns_before = warm.spawns
+        warm.ensure(2)
+        assert warm.workers == 2
+        warm.ensure(3)
+        assert warm.workers == 3
+        assert warm.spawns == spawns_before + 2
+
+    def test_broken_pool_respawns_on_next_use(self):
+        warm = get_warm_pool()
+        spawns_before = warm.spawns
+        warm.ensure(2)
+        warm.mark_broken()
+        assert not warm.alive
+        executor = warm.ensure(2)
+        assert warm.alive
+        assert warm.spawns == spawns_before + 2
+        assert executor.submit(max, 1, 2).result() == 2
+
+    def test_shutdown_is_idempotent(self):
+        warm = get_warm_pool()
+        warm.ensure(2)
+        shutdown_warm_pool()
+        assert not warm.alive
+        shutdown_warm_pool()  # never-used / already-down: no error
+
+    def test_sweep_unlinks_every_arena(self):
+        points, seeds = _grid()
+        run_sweep(points, seeds, workers=2, min_cells_per_worker=0)
+        assert not pool_mod._live_arenas
+
+    def test_sweep_feeds_cost_ema_and_stats(self):
+        points, seeds = _grid()
+        outcome = SweepExecutor(
+            workers=2, min_cells_per_worker=0
+        ).run_outcome(points, seeds)
+        assert outcome.stats.mode == "warm"
+        assert outcome.stats.workers_used == 2
+        assert outcome.stats.chunk_size >= 1
+        assert outcome.stats.arena_bytes > 0
+        assert pool_mod.cell_cost_estimate_s() > 0
+        assert "workers=2" in outcome.stats.summary_line()
+
+
+# ----------------------------------------------------------------------
+# warm results equivalence (file backend + obs collector)
+# ----------------------------------------------------------------------
+
+@needs_fork
+class TestWarmEquivalence:
+    def test_file_backend_bitwise_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARENA_BACKEND", "file")
+        points, seeds = _grid()
+        warm_results = run_sweep(
+            points, seeds, workers=2, min_cells_per_worker=0
+        )
+        sweep_mod._result_cache.clear()
+        serial = run_sweep(points, seeds, workers=1)
+        assert warm_results == serial
+        assert not pool_mod._live_arenas  # file arenas reaped too
+
+    def test_collector_parity_with_serial(self):
+        from repro.obs.aggregate import SweepObsCollector
+
+        points, seeds = _grid()
+        warm_collector = SweepObsCollector()
+        SweepExecutor(workers=2, min_cells_per_worker=0).run(
+            points, seeds, collector=warm_collector
+        )
+        sweep_mod._result_cache.clear()
+        serial_collector = SweepObsCollector()
+        SweepExecutor(workers=1).run(points, seeds, collector=serial_collector)
+        warm_collector.finalize()
+        serial_collector.finalize()
+        assert warm_collector.metrics_dict() == serial_collector.metrics_dict()

@@ -12,7 +12,8 @@ import os
 
 import pytest
 
-import repro.experiments.parallel as parallel_mod
+import repro.experiments.pool as pool_mod
+import repro.experiments.sweep as sweep_mod
 from repro.errors import ExperimentError
 from repro.experiments.parallel import SweepExecutor
 from repro.experiments.sweep import SweepPoint
@@ -20,11 +21,26 @@ from repro.experiments.sweep import SweepPoint
 from tests.resilience.conftest import needs_fork
 
 
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Fork the warm pool *after* the kill patch lands.
+
+    The pool is a process-wide singleton: workers forked by an earlier
+    test predate this module's monkeypatching and would compute cells
+    normally instead of dying. Shutting down on both sides forces the
+    fork to inherit the patch and keeps the poisoned image out of
+    later tests.
+    """
+    pool_mod.shutdown_warm_pool()
+    yield
+    pool_mod.shutdown_warm_pool()
+
+
 @needs_fork
 class TestBrokenPoolMessage:
     def test_names_cells_and_attempt_count(self, monkeypatch):
         monkeypatch.setattr(
-            parallel_mod, "simulate_cell", lambda *a: os._exit(13)
+            sweep_mod, "simulate_cell", lambda *a: os._exit(13)
         )
         points = [
             SweepPoint("sdsc", 10, 1.0, 2, "krevat", 0.0),
@@ -45,7 +61,7 @@ class TestBrokenPoolMessage:
 
     def test_long_cell_list_elided(self, monkeypatch):
         monkeypatch.setattr(
-            parallel_mod, "simulate_cell", lambda *a: os._exit(13)
+            sweep_mod, "simulate_cell", lambda *a: os._exit(13)
         )
         points = [
             SweepPoint("sdsc", 10 + i, 1.0, 2, "krevat", 0.0)
