@@ -19,7 +19,8 @@ wall time of one measured batch.  Sweep records carry an extra
 (``serial``/``parallel``/``warm``/``queue``), and their ``workers``
 field is the executor's *actual* ``stats.workers_used`` — 1 whenever
 the auto-serial cutover refused the pool — never the requested count.
-``check_sweep_speedup.py`` gates on the sweep pair.
+``check_sweep_speedup.py`` gates on the sweep pair, and
+``check_serve_throughput.py`` gates on ``serve_inproc_submit``.
 
 Usage::
 
@@ -383,6 +384,96 @@ def bench_sim_modes(scale: Scale, incremental: bool, batch: bool):
     return run, 1
 
 
+#: Serve-bench overload fixture: size-64 jobs against a 32-job engine
+#: cap, logical clock.  Caps fill almost immediately, so the bench
+#: measures the sustained submission path — admission bookkeeping plus
+#: the bounded-queue reject fast path — which is exactly the regime the
+#: >10k submissions/s bar (check_serve_throughput.py) is about.  Size-64
+#: jobs keep the simulator passes cheap; a machine packed with tiny jobs
+#: would time compaction planning instead of the service.
+SERVE_BENCH_JOB_SIZE = 64
+SERVE_BENCH_ENGINE_CAP = 32
+SERVE_BENCH_TENANT_CAP = 64
+
+
+def _serve_engine():
+    from repro.api import SimulationSetup
+    from repro.serve.engine import ServeEngine
+
+    return ServeEngine.from_setup(
+        SimulationSetup(site="sdsc", n_jobs=10, seed=0),
+        clock="logical",
+        tenant_cap=SERVE_BENCH_TENANT_CAP,
+        engine_cap=SERVE_BENCH_ENGINE_CAP,
+    )
+
+
+def _serve_messages(n: int) -> list[dict]:
+    return [
+        {
+            "op": "submit",
+            "id": i,
+            "size": SERVE_BENCH_JOB_SIZE,
+            "runtime": 1e6,
+        }
+        for i in range(n)
+    ]
+
+
+def bench_serve_inproc(scale: Scale):
+    """Submission throughput straight into the engine (no transport)."""
+    from repro.serve.client import InprocClient
+
+    n = scale.micro_number * 100
+    messages = _serve_messages(n)
+
+    def run():
+        client = InprocClient(_serve_engine())
+        client.request_many(messages)
+
+    return run, n
+
+
+def bench_serve_tcp(scale: Scale):
+    """Submission throughput over the asyncio TCP server, pipelined.
+
+    Each pass stands up a fresh service thread, replays the overload
+    fixture with 64 requests in flight, and shuts the server down; the
+    spin-up is inside the timed region but is amortised over thousands
+    of submissions.
+    """
+    import tempfile
+    import threading
+
+    from repro.serve.client import SocketClient
+    from repro.serve.service import run_service
+
+    n = scale.micro_number * 50
+    messages = _serve_messages(n)
+    depth = 64
+
+    def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            ready = Path(tmp) / "ready"
+            engine = _serve_engine()
+            thread = threading.Thread(
+                target=run_service,
+                args=(engine,),
+                kwargs={"ready_file": ready},
+                daemon=True,
+            )
+            thread.start()
+            while not ready.exists():
+                time.sleep(0.005)
+            with SocketClient.connect(ready.read_text().strip()) as client:
+                for i in range(0, n, depth):
+                    client.request_many(messages[i : i + depth])
+                client.shutdown()
+            thread.join(timeout=30.0)
+
+    return run, n
+
+
 def _sweep_grid(scale: Scale) -> tuple[list[SweepPoint], tuple[int, ...]]:
     points = [
         SweepPoint("sdsc", scale.sweep_jobs, 1.0, 2 * i, "balancing", 0.1)
@@ -459,6 +550,15 @@ def run_benchmarks(scale_name: str, workers: int, out_path: Path) -> list[dict]:
         ("sim_event_unbatched", False, False),
     ):
         run, ops = bench_sim_modes(scale, incremental, batch)
+        record(name, best_of(run, scale.repeats), ops)
+
+    # Service submission path: in-process (the CI throughput bar) and
+    # over the TCP transport, both on the overload fixture.
+    for name, factory in (
+        ("serve_inproc_submit", bench_serve_inproc),
+        ("serve_tcp_submit", bench_serve_tcp),
+    ):
+        run, ops = factory(scale)
         record(name, best_of(run, scale.repeats), ops)
 
     # End-to-end sweep, serial then warm-pool parallel, equivalence-

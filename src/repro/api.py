@@ -206,3 +206,31 @@ def quick_simulate(
         config=config or SimulationConfig(),
     )
     return setup.run()
+
+
+def serve(setup: SimulationSetup | None = None, **engine_kwargs):
+    """Build a ready-to-serve scheduler engine for ``setup``.
+
+    The engine runs the same pipeline as :meth:`SimulationSetup.run`
+    against an open-ended arrival stream: pair it with
+    :func:`connect` for in-process use, or hand it to
+    :class:`repro.serve.SchedulerService` /
+    :func:`repro.serve.service.run_service` to expose it over TCP or a
+    unix socket.  Keyword arguments (``clock``, ``weights``,
+    ``tenant_cap``, ``engine_cap``, ``pump_interval``, ``recorder``)
+    pass through to :class:`repro.serve.ServeEngine`.
+    """
+    from repro.serve.engine import ServeEngine
+
+    return ServeEngine.from_setup(setup or SimulationSetup(), **engine_kwargs)
+
+
+def connect(target, timeout: float = 30.0):
+    """Open a scheduler-service client.
+
+    ``target`` may be a ``host:port`` string, a unix-socket path, or an
+    engine built by :func:`serve` (zero-transport in-process client).
+    """
+    from repro.serve.client import connect as _connect
+
+    return _connect(target, timeout=timeout)

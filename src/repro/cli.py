@@ -11,6 +11,8 @@
     bgl-sim sites              # list workload site models
     bgl-sim swf PATH ...       # simulate a real SWF trace file
     bgl-sim trace   summarize|diff|validate PATH...
+    bgl-sim serve   --port 9753 ...           # scheduler-as-a-service
+    bgl-sim load    --address HOST:PORT ...   # replay/load-test a service
 
 (`python -m repro` is equivalent.)
 """
@@ -94,6 +96,76 @@ def _retry_policy(args: argparse.Namespace):
             raise SystemExit("--cell-timeout must be positive")
         kwargs["cell_timeout_s"] = args.cell_timeout
     return RetryPolicy(**kwargs)
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """Simulation-scenario options shared by ``serve`` and ``load``.
+
+    Both sides must build the identical scenario — same workload, same
+    failure log, same policy seeding — for a replay through the service
+    to reproduce the batch run, so they share one flag set.
+    """
+    parser.add_argument("--site", default="sdsc", help="workload model (nasa/sdsc/llnl)")
+    parser.add_argument("--jobs", type=int, default=500, help="number of jobs")
+    parser.add_argument("--failures", type=int, default=50, help="failure events")
+    parser.add_argument(
+        "--policy", default="balancing", help="krevat / balancing / tiebreak"
+    )
+    parser.add_argument(
+        "--parameter", type=float, default=0.1,
+        help="prediction confidence (balancing) or accuracy (tiebreak)",
+    )
+    parser.add_argument("--load", type=float, default=1.0, help="load scale c")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--swf", default=None, metavar="PATH",
+        help="replay this SWF trace instead of a synthetic site workload",
+    )
+    parser.add_argument(
+        "--head", type=int, default=0,
+        help="with --swf: only the first N jobs",
+    )
+
+
+def _scenario_pipeline(args: argparse.Namespace):
+    """(workload, failures, config, policy) for serve/load flags."""
+    from repro.api import SimulationSetup
+    from repro.core.config import SimulationConfig
+    from repro.core.policies.registry import make_policy
+    from repro.failures.synthetic import generate_failures
+    from repro.workloads.scaling import fit_to_machine
+    from repro.workloads.swf import read_swf
+
+    config = SimulationConfig()
+    if args.swf:
+        workload = read_swf(args.swf)
+        if args.head:
+            workload = workload.head(args.head)
+        workload = fit_to_machine(workload, config.dims)
+        horizon = max(workload.span * 1.5, 3600.0)
+        failures = generate_failures(
+            config.dims, args.failures, horizon, seed=args.seed + 1
+        )
+    else:
+        setup = SimulationSetup(
+            site=args.site,
+            n_jobs=args.jobs,
+            load_scale=args.load,
+            n_failures=args.failures,
+            policy=args.policy,
+            parameter=args.parameter,
+            seed=args.seed,
+            config=config,
+        )
+        workload = setup.build_workload()
+        failures = setup.build_failures(workload)
+    policy = make_policy(
+        args.policy,
+        failure_log=failures,
+        parameter=args.parameter,
+        seed=args.seed + 2,
+    )
+    return workload, failures, config, policy
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -308,6 +380,101 @@ def _build_parser() -> argparse.ArgumentParser:
     swf.add_argument("--policy", default="balancing")
     swf.add_argument("--parameter", type=float, default=0.1)
     swf.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve the scheduler over newline-delimited JSON"
+    )
+    _add_scenario_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="serve on a unix socket instead of TCP",
+    )
+    serve.add_argument(
+        "--clock",
+        choices=("trace", "logical"),
+        default="trace",
+        help=(
+            "trace: clients state simulated arrival times (replays are "
+            "byte-identical to batch runs); logical: the service assigns "
+            "monotonic arrival ticks (fair-share weights shape the schedule)"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-weight", action="append", default=None, metavar="NAME=W",
+        help="fair-share weight for a tenant (repeatable; default 1)",
+    )
+    serve.add_argument(
+        "--tenant-cap", type=_positive_int, default=256,
+        help="per-tenant admission-queue depth before rejects",
+    )
+    serve.add_argument(
+        "--engine-cap", type=_positive_int, default=512,
+        help="released-but-uncompleted jobs the engine holds",
+    )
+    serve.add_argument(
+        "--pump-interval", type=_positive_int, default=32,
+        help="submissions between event-loop pump passes",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write the bound address here once listening",
+    )
+    serve.add_argument(
+        "--metrics-file", default=None, metavar="PATH",
+        help="write the final metrics snapshot here on shutdown",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="stream every scheduler decision to an NDJSON file",
+    )
+
+    load = sub.add_parser(
+        "load", help="replay a workload against a service and measure it"
+    )
+    _add_scenario_flags(load)
+    load.add_argument(
+        "--address", required=True, metavar="HOST:PORT|PATH",
+        help="service address (TCP host:port or unix-socket path)",
+    )
+    load.add_argument(
+        "--acceleration", type=float, default=None, metavar="X",
+        help="replay at trace time divided by X (default: full speed)",
+    )
+    load.add_argument(
+        "--rate", type=float, default=None, metavar="PER_S",
+        help="open-loop submissions per second (overrides trace spacing)",
+    )
+    load.add_argument(
+        "--pipeline", type=_positive_int, default=32,
+        help="requests in flight per transport round trip",
+    )
+    load.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME",
+        help="tenant names to round-robin submissions over (repeatable)",
+    )
+    load.add_argument(
+        "--no-drain", action="store_true",
+        help="skip the final drain (leave the service running hot)",
+    )
+    load.add_argument(
+        "--check", action="store_true",
+        help=(
+            "run the same scenario through the batch simulator locally "
+            "and require the drained report to match byte-for-byte"
+        ),
+    )
+    load.add_argument(
+        "--shutdown", action="store_true",
+        help="send a shutdown request after the run",
+    )
+    load.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the load report as JSON",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect NDJSON decision traces (from `run --trace`)"
@@ -630,6 +797,109 @@ def _cmd_swf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.engine import ServeEngine
+    from repro.serve.service import run_service
+
+    workload, failures, config, policy = _scenario_pipeline(args)
+    weights = {}
+    for entry in args.tenant_weight or ():
+        name, sep, weight_text = entry.partition("=")
+        if not sep:
+            raise SystemExit(f"--tenant-weight expects NAME=WEIGHT, got {entry!r}")
+        try:
+            weights[name] = float(weight_text)
+        except ValueError:
+            raise SystemExit(
+                f"--tenant-weight {entry!r}: weight must be a number"
+            ) from None
+    sink = open(args.trace, "w", encoding="utf-8") if args.trace else None
+    try:
+        from repro.obs.trace import TraceRecorder
+
+        engine = ServeEngine(
+            workload.name,
+            workload.machine_nodes,
+            failures,
+            policy,
+            config,
+            clock=args.clock,
+            weights=weights or None,
+            tenant_cap=args.tenant_cap,
+            engine_cap=args.engine_cap,
+            pump_interval=args.pump_interval,
+            recorder=TraceRecorder(sink=sink) if sink is not None else None,
+        )
+        run_service(
+            engine,
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            ready_file=args.ready_file,
+            metrics_file=args.metrics_file,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    stats = engine.handle({"op": "stats"})
+    print(
+        f"served {stats['submitted']} submissions: "
+        f"{stats['admitted']} admitted, {stats['rejected']} rejected, "
+        f"{stats['completed']} completed"
+    )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import SocketClient
+    from repro.serve.load import run_load
+
+    if args.check and args.no_drain:
+        raise SystemExit("--check needs the drained report; drop --no-drain")
+    workload, failures, config, policy = _scenario_pipeline(args)
+    client = SocketClient.connect(args.address)
+    try:
+        result = run_load(
+            client,
+            workload,
+            acceleration=args.acceleration,
+            rate=args.rate,
+            tenants=tuple(args.tenant) if args.tenant else ("default",),
+            pipeline_depth=args.pipeline,
+            drain=not args.no_drain,
+        )
+        exit_code = 0
+        for line in result.summary_lines():
+            print(f"  {line}")
+        if result.dropped or result.errors:
+            print("FAIL: dropped responses or submit errors", file=sys.stderr)
+            exit_code = 1
+        if args.check:
+            from repro.metrics.serialize import report_to_dict
+            from repro.core.simulator import simulate
+
+            expected = report_to_dict(simulate(workload, failures, policy, config))
+            if result.final_report == expected:
+                print("check: service report matches batch simulator")
+            else:
+                print(
+                    "FAIL: service report differs from batch simulator",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.shutdown:
+            client.shutdown()
+    finally:
+        client.close()
+    return exit_code
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.tools import (
         diff_traces,
@@ -671,13 +941,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
-    if args.verbose:
-        from repro.obs.log import configure_logging
-
-        configure_logging(args.verbose)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sweep":
@@ -696,9 +960,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_characterize(args)
     if args.command == "swf":
         return _cmd_swf(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "load":
+        return _cmd_load(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.obs.log import configure_logging
+
+        configure_logging(args.verbose)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # Ctrl-C is an answer, not a crash: shut the warm pool down (it
+        # holds worker processes and shared-memory arenas), say so once
+        # on stderr, and exit with the conventional 128+SIGINT code.
+        try:
+            from repro.experiments.pool import shutdown_warm_pool
+
+            shutdown_warm_pool()
+        except Exception:  # noqa: BLE001 - best-effort cleanup on the way out
+            pass
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

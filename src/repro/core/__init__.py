@@ -11,6 +11,11 @@ priority) and leaves the node immediately available.
 
 from __future__ import annotations
 
+from repro.core.arrivals import (
+    ArrivalStream,
+    OnlineArrivalStream,
+    TraceArrivalStream,
+)
 from repro.core.config import BackfillMode, SimulationConfig
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.jobstate import JobState
@@ -25,6 +30,9 @@ from repro.core.policies import (
 )
 
 __all__ = [
+    "ArrivalStream",
+    "OnlineArrivalStream",
+    "TraceArrivalStream",
     "BackfillMode",
     "SimulationConfig",
     "Event",

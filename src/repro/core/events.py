@@ -75,6 +75,15 @@ class EventQueue:
             raise SimulationError("peek on empty event queue")
         return self._heap[0]
 
+    def next_time(self) -> float | None:
+        """Timestamp of the next event, or ``None`` when empty.
+
+        The steppable drivers (:meth:`repro.core.simulator.Simulator.pump`)
+        use this to decide whether the next batch falls inside their
+        arrival watermark without paying for an exception on drain.
+        """
+        return self._heap[0].time if self._heap else None
+
     def pop(self) -> Event:
         """Remove and return the next event."""
         if not self._heap:

@@ -60,10 +60,29 @@ class WaitQueue:
 
     def remove(self, state: JobState) -> None:
         """Remove a specific job (it was just dispatched)."""
+        if not self.discard(state):
+            raise SimulationError(f"job {state.job_id} not in wait queue")
+
+    def discard(self, state: JobState) -> bool:
+        """Remove a job if present; returns whether it was queued.
+
+        The cancellation path (an online client withdrawing a waiting
+        job) cannot know whether the job is still queued or already
+        dispatched, so absence is an answer rather than an error.
+        """
         key = (state.job.arrival, state.job_id)
         i = bisect.bisect_left(self._keys, key)
         if i >= len(self._keys) or self._keys[i] != key:
-            raise SimulationError(f"job {state.job_id} not in wait queue")
+            return False
         del self._keys[i]
         del self._jobs[i]
         self._requested -= state.size
+        return True
+
+    def find(self, job_id: int) -> JobState | None:
+        """The queued state with this id, or ``None`` (linear scan —
+        cancellation/status paths only, never the scheduler hot path)."""
+        for js in self._jobs:
+            if js.job_id == job_id:
+                return js
+        return None

@@ -35,7 +35,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
-from repro.workloads.job import Workload
+from repro.workloads.job import Job, Workload
 from repro.core.backfill import ShadowTimeEngine
 from repro.core.config import BackfillMode, SimulationConfig
 from repro.core.events import EventKind, EventQueue
@@ -63,6 +63,7 @@ class Simulator:
         policy: SchedulingPolicy,
         config: SimulationConfig | None = None,
         recorder: TraceRecorder | NullRecorder | None = None,
+        open_ended: bool = False,
     ) -> None:
         self.config = config or SimulationConfig()
         dims = self.config.dims
@@ -71,14 +72,12 @@ class Simulator:
                 f"failure log covers {failure_log.n_nodes} nodes but the "
                 f"machine has {dims.volume}; use repro.failures.map_node_ids"
             )
-        self._validate_workload(workload)
         self.workload = workload
         self.failure_log = failure_log
         self.policy = policy
+        self.open_ended = open_ended
         self.torus = Torus(dims)
-        self.states: dict[int, JobState] = {
-            job.job_id: JobState(job) for job in workload.jobs
-        }
+        self.states: dict[int, JobState] = {}
         self.wait = WaitQueue()
         self.events = EventQueue()
         self.tracker = CapacityTracker(dims.volume)
@@ -105,7 +104,21 @@ class Simulator:
             else None
         )
         self._completed = 0
-        self._min_arrival = min((j.arrival for j in workload.jobs), default=0.0)
+        self._target = 0
+        self._processed = 0
+        self._begun = False
+        self._last_time = 0.0
+        self._final_report: SimulationReport | None = None
+        self._arrival_epoch: dict[int, int] = {}
+        self._cancelled: set[int] = set()
+        # Batch runs know the full horizon up front; an open-ended run
+        # starts with no arrivals and learns its earliest one from the
+        # first submission.
+        self._min_arrival = (
+            math.inf
+            if open_ended
+            else min((j.arrival for j in workload.jobs), default=0.0)
+        )
         self._running_ids: set[int] = set()
         self._index_cache = IndexCache(
             self.torus, incremental=self.config.incremental_index
@@ -113,22 +126,110 @@ class Simulator:
         self._shadow = ShadowTimeEngine(self.torus, index_cache=self._index_cache)
 
         for job in workload.jobs:
-            self.events.push(job.arrival, EventKind.ARRIVAL, job.job_id)
+            self.submit_job(job)
         for i in range(len(failure_log)):
             self.events.push(
                 float(failure_log.times[i]), EventKind.FAILURE, int(failure_log.nodes[i])
             )
 
     # ------------------------------------------------------------------
-    def _validate_workload(self, workload: Workload) -> None:
+    # arrival intake (shared by the batch ctor and the online drivers)
+    # ------------------------------------------------------------------
+    def submit_job(self, job: Job) -> JobState:
+        """Register a job and schedule its ARRIVAL event.
+
+        The batch constructor funnels the whole workload through here;
+        online drivers (:mod:`repro.core.arrivals`) call it one job at a
+        time.  A job id may be reused only after :meth:`cancel_job` — the
+        resubmission bumps the arrival epoch so a still-queued ARRIVAL
+        from the cancelled life is ignored.
+        """
         dims = self.config.dims
-        for job in workload.jobs:
-            if job.size > dims.volume or not shapes_for_size(job.size, dims):
-                raise SimulationError(
-                    f"job {job.job_id} size {job.size} has no rectangular "
-                    f"partition on {dims.as_tuple()}; apply "
-                    f"repro.workloads.fit_to_machine first"
-                )
+        if job.size > dims.volume or not shapes_for_size(job.size, dims):
+            raise SimulationError(
+                f"job {job.job_id} size {job.size} has no rectangular "
+                f"partition on {dims.as_tuple()}; apply "
+                f"repro.workloads.fit_to_machine first"
+            )
+        if job.job_id in self.states and job.job_id not in self._cancelled:
+            raise SimulationError(f"job {job.job_id} already submitted")
+        if job.job_id in self._cancelled:
+            self._cancelled.discard(job.job_id)
+            self._arrival_epoch[job.job_id] = (
+                self._arrival_epoch.get(job.job_id, 0) + 1
+            )
+        state = JobState(job)
+        self.states[job.job_id] = state
+        self.events.push(
+            job.arrival,
+            EventKind.ARRIVAL,
+            job.job_id,
+            self._arrival_epoch.get(job.job_id, 0),
+        )
+        if job.arrival < self._min_arrival:
+            self._min_arrival = job.arrival
+        self._target += 1
+        return state
+
+    def cancel_job(self, job_id: int) -> str:
+        """Withdraw a job; returns where the cancellation caught it.
+
+        Outcomes: ``"pending"`` (ARRIVAL not yet processed), ``"waiting"``
+        (pulled from the wait queue), ``"running"`` (partition released,
+        in-flight FINISH invalidated), ``"completed"``/``"cancelled"``/
+        ``"unknown"`` (no-ops).  Cancellation is an online-service
+        operation — the batch path never calls it, so batch reports and
+        traces are unaffected.  Capacity accounting treats the freed
+        nodes as free from the next recorded batch onward.
+        """
+        state = self.states.get(job_id)
+        if state is None:
+            return "unknown"
+        if job_id in self._cancelled:
+            return "cancelled"
+        if state.done:
+            return "completed"
+        self._cancelled.add(job_id)
+        self._target -= 1
+        if job_id in self._running_ids:
+            self.torus.release(job_id)
+            self._running_ids.discard(job_id)
+            state.abort_dispatch()
+            outcome = "running"
+        elif self.wait.discard(state):
+            outcome = "waiting"
+        else:
+            # ARRIVAL still queued: stale-epoch it out of the heap.
+            self._arrival_epoch[job_id] = self._arrival_epoch.get(job_id, 0) + 1
+            outcome = "pending"
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "cancel", self._last_time, job=job_id, caught=outcome
+            )
+        return outcome
+
+    def job_status(self, job_id: int) -> str:
+        """Lifecycle phase of a job id, for the service status endpoint."""
+        state = self.states.get(job_id)
+        if state is None:
+            return "unknown"
+        if job_id in self._cancelled:
+            return "cancelled"
+        if state.done:
+            return "completed"
+        if state.running:
+            return "running"
+        return "waiting" if self.wait.find(job_id) is not None else "pending"
+
+    @property
+    def completed_count(self) -> int:
+        """Jobs that have run to completion so far."""
+        return self._completed
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted, not cancelled, not yet completed."""
+        return self._target - self._completed
 
     # ------------------------------------------------------------------
     # main loop
@@ -159,69 +260,125 @@ class Simulator:
                 return self._run()
 
     def _run(self) -> SimulationReport:
-        n_jobs = len(self.workload)
-        if n_jobs == 0:
-            return self._report(end_time=self._min_arrival)
+        return self.drain()
+
+    def _begin(self) -> None:
+        """Record the opening capacity sample (idempotent)."""
+        if self._begun:
+            return
+        self._begun = True
+        self._last_time = self._min_arrival
         self.tracker.record(self._min_arrival, self.torus.dims.volume, 0)
         if self.oracles is not None:
             self.oracles.record_capacity(
                 self._min_arrival, self.torus.dims.volume, 0
             )
-        processed = 0
-        last_time = self._min_arrival
-        while self.events and self._completed < n_jobs:
-            batch = self.events.pop_batch()
-            now = batch[0].time
+
+    def _step_batch(self) -> float:
+        """Pop and apply one same-timestamp batch, then run a scheduler
+        pass — one iteration of the historical run loop."""
+        batch = self.events.pop_batch()
+        now = batch[0].time
+        if self.oracles is not None:
+            self.oracles.observe_batch(batch)
+        for event in batch:
+            self._processed += 1
+            if self._processed > self.config.max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({self.config.max_events}); "
+                    f"likely livelock"
+                )
+            if event.kind is EventKind.FINISH:
+                self._on_finish(event.payload, event.epoch, now)
+            elif event.kind is EventKind.FAILURE:
+                self._on_failure(event.payload, now)
+            else:
+                self._on_arrival(event.payload, event.epoch, now)
+            if not self.config.batch_events:
+                # Naive per-event oracle: refresh the placement
+                # index after every event instead of once per
+                # coalesced batch.  The refreshed index is not
+                # consulted between events, so reports and traces
+                # stay byte-identical to the batched path (the
+                # differential suite in tests/core/
+                # test_event_batching.py enforces this).
+                self._index_cache.invalidate()
+                self._index_cache.get()
+        self._schedule_pass(now)
+        if now >= self._min_arrival:
+            self.tracker.record(
+                now, self.torus.free_count, self.wait.requested_nodes
+            )
             if self.oracles is not None:
-                self.oracles.observe_batch(batch)
-            for event in batch:
-                processed += 1
-                if processed > self.config.max_events:
-                    raise SimulationError(
-                        f"event budget exhausted ({self.config.max_events}); "
-                        f"likely livelock"
-                    )
-                if event.kind is EventKind.FINISH:
-                    self._on_finish(event.payload, event.epoch, now)
-                elif event.kind is EventKind.FAILURE:
-                    self._on_failure(event.payload, now)
-                else:
-                    self._on_arrival(event.payload, now)
-                if not self.config.batch_events:
-                    # Naive per-event oracle: refresh the placement
-                    # index after every event instead of once per
-                    # coalesced batch.  The refreshed index is not
-                    # consulted between events, so reports and traces
-                    # stay byte-identical to the batched path (the
-                    # differential suite in tests/core/
-                    # test_event_batching.py enforces this).
-                    self._index_cache.invalidate()
-                    self._index_cache.get()
-            self._schedule_pass(now)
-            if now >= self._min_arrival:
-                self.tracker.record(
+                self.oracles.record_capacity(
                     now, self.torus.free_count, self.wait.requested_nodes
                 )
-                if self.oracles is not None:
-                    self.oracles.record_capacity(
-                        now, self.torus.free_count, self.wait.requested_nodes
-                    )
-            if self.config.strict_invariants:
-                self.torus.check_invariants()
-            if self.oracles is not None:
-                self.oracles.check_torus(self.torus)
-            last_time = now
-        if self._completed < n_jobs:
+        if self.config.strict_invariants:
+            self.torus.check_invariants()
+        if self.oracles is not None:
+            self.oracles.check_torus(self.torus)
+        self._last_time = now
+        return now
+
+    def pump(
+        self, horizon: float = math.inf, max_batches: int | None = None
+    ) -> int:
+        """Process event batches strictly *before* ``horizon``.
+
+        Returns the number of batches processed.  The horizon is the
+        caller's arrival watermark: a batch at time ``t >= horizon``
+        could still gain members from a future submission at ``t`` (an
+        arrival joining it would change the scheduler pass), so it stays
+        queued.  With the default infinite horizon this replicates the
+        batch run loop, stopping once every non-cancelled job completed
+        — trailing failure events are left unprocessed, exactly as the
+        batch path leaves them.
+        """
+        if self._target == 0 or not math.isfinite(self._min_arrival):
+            return 0
+        self._begin()
+        steps = 0
+        while self._completed < self._target and (
+            max_batches is None or steps < max_batches
+        ):
+            next_time = self.events.next_time()
+            if next_time is None or next_time >= horizon:
+                break
+            self._step_batch()
+            steps += 1
+        return steps
+
+    def drain(self) -> SimulationReport:
+        """Run every remaining batch and build the final report.
+
+        Idempotent: the report is cached, so the service can answer
+        repeated ``drain`` requests without re-running the engine.
+        """
+        if self._final_report is not None:
+            return self._final_report
+        if self._target == 0:
+            end = self._min_arrival if math.isfinite(self._min_arrival) else 0.0
+            self._min_arrival = end
+            self._final_report = self._report(end_time=end)
+            return self._final_report
+        self.pump()
+        if self._completed < self._target:
             raise SimulationError(
-                f"simulation stalled: {n_jobs - self._completed} jobs "
-                f"never completed (event queue drained at t={last_time})"
+                f"simulation stalled: {self._target - self._completed} jobs "
+                f"never completed (event queue drained at t={self._last_time})"
             )
-        return self._report(end_time=last_time)
+        self._final_report = self._report(end_time=self._last_time)
+        return self._final_report
 
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
-    def _on_arrival(self, job_id: int, now: float) -> None:
+    def _on_arrival(self, job_id: int, epoch: int, now: float) -> None:
+        if (
+            epoch != self._arrival_epoch.get(job_id, 0)
+            or job_id in self._cancelled
+        ):
+            return  # ARRIVAL from a life that was cancelled before it landed
         if self.recorder.enabled:
             self.recorder.emit(
                 "arrival", now, job=job_id, size=self.states[job_id].size

@@ -32,10 +32,6 @@ class WorkloadError(ReproError):
     """Malformed workload trace or invalid workload-model parameters."""
 
 
-class SWFParseError(WorkloadError):
-    """A Standard Workload Format file could not be parsed."""
-
-
 class FailureModelError(ReproError):
     """Invalid failure log or failure-generator parameters."""
 
@@ -50,6 +46,23 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Invalid experiment specification in the benchmark harness."""
+
+
+class SWFParseError(WorkloadError, ExperimentError):
+    """A Standard Workload Format file could not be parsed.
+
+    Doubles as an :class:`ExperimentError` because a bad trace is an
+    experiment-input problem: CLI surfaces that catch experiment errors
+    report the offending line number instead of a raw traceback.
+    """
+
+
+class ServeError(ReproError):
+    """Scheduler-service failure: bad session state or transport fault."""
+
+
+class ProtocolError(ServeError):
+    """Malformed or unsupported message on the service wire protocol."""
 
 
 class ResilienceError(ReproError):

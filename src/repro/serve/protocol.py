@@ -1,0 +1,117 @@
+"""Wire protocol: newline-delimited JSON requests and responses.
+
+One request per line, one response per line, in order — clients may
+pipeline any number of requests before reading.  Every request carries
+an ``op``; every response carries ``ok``.  A backpressure reject is a
+well-formed response (``ok=false, rejected=true, retry_after=<s>``),
+not a transport error: the connection stays open and the client is
+expected to back off and resubmit.
+
+Requests
+--------
+``{"op": "submit", "id": 7, "size": 4, "runtime": 120.0,
+   "arrival": 3600.0, "estimate": 150.0, "tenant": "alice"}``
+    ``arrival``/``estimate``/``tenant`` are optional (``arrival`` is
+    required when the service runs the *trace* clock).
+``{"op": "cancel", "id": 7}`` · ``{"op": "status", "id": 7}``
+``{"op": "stats"}`` · ``{"op": "ping"}``
+``{"op": "drain"}``
+    Close the arrival stream, run the engine dry and return the final
+    schedule report.
+``{"op": "shutdown"}``
+    Drain, then stop the server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ProtocolError
+
+#: Protocol revision; servers echo it from ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line — oversized lines are a protocol error,
+#: never an unbounded buffer.
+MAX_LINE_BYTES = 1 << 16
+
+#: Known operations and the fields each requires beyond ``op``.
+_REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "submit": ("id", "size", "runtime"),
+    "cancel": ("id",),
+    "status": ("id",),
+    "stats": (),
+    "ping": (),
+    "drain": (),
+    "shutdown": (),
+}
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One message as a compact NDJSON line (sorted keys, so identical
+    sessions produce byte-identical transcripts)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one request line; raises :class:`ProtocolError` with a
+    message safe to echo back to the client."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request line exceeds {MAX_LINE_BYTES} bytes"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(message: dict[str, Any]) -> str:
+    """Check ``op`` and its required fields; returns the op name."""
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request has no 'op' field")
+    required = _REQUIRED_FIELDS.get(op)
+    if required is None:
+        known = ", ".join(sorted(_REQUIRED_FIELDS))
+        raise ProtocolError(f"unknown op {op!r}; known ops: {known}")
+    for name in required:
+        if name not in message:
+            raise ProtocolError(f"op {op!r} requires field {name!r}")
+    if "id" in message:
+        job_id = message["id"]
+        if not isinstance(job_id, int) or isinstance(job_id, bool) or job_id < 0:
+            raise ProtocolError(
+                f"'id' must be a non-negative integer, got {job_id!r}"
+            )
+    if op == "submit":
+        size = message["size"]
+        if not isinstance(size, int) or isinstance(size, bool) or size < 1:
+            raise ProtocolError(f"'size' must be a positive integer, got {size!r}")
+        for name in ("runtime", "estimate", "arrival"):
+            if name not in message:
+                continue
+            value = message[name]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ProtocolError(f"{name!r} must be a number, got {value!r}")
+        if "tenant" in message and not isinstance(message["tenant"], str):
+            raise ProtocolError("'tenant' must be a string")
+    return op
+
+
+def error_response(exc: Exception, **extra: Any) -> dict[str, Any]:
+    """A well-formed error payload from any exception."""
+    return {"ok": False, "error": str(exc), **extra}

@@ -20,7 +20,11 @@ Field reference (1-based, per the archive definition):
 ==  =============================  ========================================
 
 Jobs with non-positive size or runtime (cancelled / failed submissions)
-are skipped, matching common simulator practice.
+are skipped, matching common simulator practice.  Records that are
+*wrong* rather than merely incomplete — duplicate job numbers, size
+fields that are explicitly zero/negative instead of the ``-1`` unknown
+sentinel, short or non-numeric lines, malformed headers — raise
+:class:`~repro.errors.SWFParseError` naming the offending line.
 """
 
 from __future__ import annotations
@@ -51,9 +55,18 @@ def _parse_line(line: str, lineno: int) -> Job | None:
         requested_time = float(fields[8])
     except ValueError as exc:
         raise SWFParseError(f"line {lineno}: non-numeric field ({exc})") from None
+    # The archive's "unknown" sentinel is exactly -1; a size that is
+    # zero or some other negative number is a corrupt record, not a
+    # cancelled submission.
+    for label, value in (("requested", requested), ("allocated", allocated)):
+        if value != _UNKNOWN and value <= 0:
+            raise SWFParseError(
+                f"line {lineno}: job {job_id} has invalid {label} "
+                f"processor count {value} (use -1 for unknown)"
+            )
     size = requested if requested > 0 else allocated
     if size <= 0 or runtime <= 0 or submit < 0 or job_id < 0:
-        return None  # cancelled / failed / malformed submission records
+        return None  # cancelled / failed / incomplete submission records
     estimate = requested_time if requested_time > 0 else runtime
     return Job(job_id=job_id, arrival=submit, size=size, runtime=runtime, estimate=estimate)
 
@@ -65,6 +78,7 @@ def parse_swf(stream: TextIO, name: str = "swf") -> Workload:
     size; when absent the maximum job size is used.
     """
     jobs: list[Job] = []
+    seen: dict[int, int] = {}
     max_procs = 0
     for lineno, raw in enumerate(stream, start=1):
         line = raw.strip()
@@ -82,6 +96,12 @@ def parse_swf(stream: TextIO, name: str = "swf") -> Workload:
             continue
         job = _parse_line(line, lineno)
         if job is not None:
+            first = seen.setdefault(job.job_id, lineno)
+            if first != lineno:
+                raise SWFParseError(
+                    f"line {lineno}: duplicate job id {job.job_id} "
+                    f"(first seen on line {first})"
+                )
             jobs.append(job)
     machine = max_procs if max_procs > 0 else max((j.size for j in jobs), default=1)
     return Workload(name=name, machine_nodes=machine, jobs=tuple(jobs))

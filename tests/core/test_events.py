@@ -64,6 +64,34 @@ class TestEventQueue:
         q.push(5.0, EventKind.FINISH, 9, epoch=3)
         assert q.pop().epoch == 3
 
+    def test_next_time_peeks_without_popping(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        q.push(7.0, EventKind.ARRIVAL, 1)
+        q.push(3.0, EventKind.FINISH, 2)
+        assert q.next_time() == 3.0
+        assert len(q) == 2
+
+    def test_pop_batch_keeps_stale_epoch_distinguishable(self):
+        """A cancelled-then-resubmitted job id leaves two ARRIVAL events
+        for one payload; the consumer tells them apart by epoch, so a
+        same-instant batch must surface both."""
+        q = EventQueue()
+        q.push(10.0, EventKind.ARRIVAL, 7, epoch=0)  # cancelled life
+        q.push(10.0, EventKind.ARRIVAL, 7, epoch=1)  # resubmission
+        batch = q.pop_batch()
+        assert [e.payload for e in batch] == [7, 7]
+        assert [e.epoch for e in batch] == [0, 1]  # arrival order preserved
+
+    def test_pop_batch_resubmission_at_later_time(self):
+        q = EventQueue()
+        q.push(10.0, EventKind.ARRIVAL, 7, epoch=0)
+        q.push(20.0, EventKind.ARRIVAL, 7, epoch=1)
+        first = q.pop_batch()
+        second = q.pop_batch()
+        assert [(e.time, e.epoch) for e in first] == [(10.0, 0)]
+        assert [(e.time, e.epoch) for e in second] == [(20.0, 1)]
+
     @given(st.lists(st.tuples(st.floats(0, 100), st.sampled_from(list(EventKind))), max_size=40))
     @settings(max_examples=50)
     def test_global_ordering_property(self, items):

@@ -60,6 +60,44 @@ class TestWaitQueue:
         with pytest.raises(SimulationError):
             WaitQueue().head()
 
+    def test_discard_present_and_absent(self):
+        q = WaitQueue()
+        queued = state(1, arrival=10.0, size=8)
+        q.push(queued)
+        assert q.discard(queued) is True
+        assert q.requested_nodes == 0
+        # Cancellation can race dispatch: absence is an answer, not an error.
+        assert q.discard(queued) is False
+        assert len(q) == 0
+
+    def test_discard_leaves_other_jobs_intact(self):
+        q = WaitQueue()
+        keep = state(1, arrival=10.0, size=4)
+        drop = state(2, arrival=20.0, size=8)
+        q.push(keep)
+        q.push(drop)
+        assert q.discard(drop) is True
+        assert [s.job_id for s in q] == [1]
+        assert q.requested_nodes == 4
+
+    def test_discard_distinguishes_same_id_different_arrival(self):
+        """A cancelled-then-resubmitted id is keyed by (arrival, id):
+        discarding the old life must not remove the new one."""
+        q = WaitQueue()
+        resubmitted = state(3, arrival=50.0)
+        q.push(resubmitted)
+        old_life = state(3, arrival=10.0)
+        assert q.discard(old_life) is False
+        assert q.find(3) is resubmitted
+
+    def test_find_by_id(self):
+        q = WaitQueue()
+        a, b = state(1, arrival=10.0), state(2, arrival=20.0)
+        q.push(a)
+        q.push(b)
+        assert q.find(2) is b
+        assert q.find(99) is None
+
     def test_indexing_and_iteration(self):
         q = WaitQueue()
         q.push(state(0, arrival=0.0))

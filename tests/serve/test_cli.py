@@ -1,0 +1,128 @@
+"""CLI surface: `bgl-sim serve` / `bgl-sim load`, SIGINT handling, api glue."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.cli as cli
+from repro.api import SimulationSetup, connect, serve
+from repro.cli import main
+from repro.serve.engine import ServeEngine
+
+
+class TestKeyboardInterrupt:
+    """Satellite: Ctrl-C exits with code 130 and one stderr line, no
+    traceback (the sweep/figure pools are shut down on the way out)."""
+
+    def test_sigint_exit_code_and_message(self, monkeypatch, capsys):
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", boom)
+        assert main(["sites"]) == 130
+        captured = capsys.readouterr()
+        assert captured.err.strip() == "interrupted"
+        assert "Traceback" not in captured.err
+
+    def test_sigint_survives_pool_cleanup_failure(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli, "_dispatch", lambda args: (_ for _ in ()).throw(KeyboardInterrupt)
+        )
+
+        import repro.experiments.pool as pool
+
+        def bad_shutdown(*a, **k):
+            raise RuntimeError("pool already gone")
+
+        monkeypatch.setattr(pool, "shutdown_warm_pool", bad_shutdown)
+        assert main(["sweep", "--parameters", "0.1"]) == 130
+
+
+class TestServeLoadCli:
+    def serve_in_thread(self, tmp_path, extra=()):
+        ready = tmp_path / "ready"
+        argv = [
+            "serve",
+            "--site", "sdsc", "--jobs", "40", "--seed", "9",
+            "--ready-file", str(ready),
+            *extra,
+        ]
+        thread = threading.Thread(target=main, args=(argv,), daemon=True)
+        thread.start()
+        import time
+
+        deadline = time.time() + 15.0
+        while not ready.exists():
+            if time.time() > deadline:
+                raise TimeoutError("serve never wrote its ready file")
+            time.sleep(0.01)
+        return ready.read_text().strip(), thread
+
+    def test_serve_load_check_round_trip(self, tmp_path, capsys):
+        """The acceptance-criteria path, end to end over the real CLI:
+        load --check replays the scenario and requires the drained
+        report to match the batch simulator byte-for-byte."""
+        metrics_file = tmp_path / "metrics.json"
+        address, thread = self.serve_in_thread(
+            tmp_path, extra=["--metrics-file", str(metrics_file)]
+        )
+        output = tmp_path / "report.json"
+        code = main(
+            [
+                "load",
+                "--site", "sdsc", "--jobs", "40", "--seed", "9",
+                "--address", address,
+                "--check", "--shutdown",
+                "--output", str(output),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        assert "check: service report matches batch simulator" in captured.out
+        assert "dropped     0" in captured.out
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        report = json.loads(output.read_text())
+        assert report["submitted"] == 40 and report["dropped"] == 0
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["counters"]["serve.submitted"] == 40
+
+    def test_check_requires_drain(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "load", "--address", "127.0.0.1:1",
+                    "--check", "--no-drain",
+                ]
+            )
+
+    def test_mismatched_scenario_fails_check(self, tmp_path, capsys):
+        """Different seeds on the two sides → different schedule → the
+        check must fail loudly, proving it actually compares."""
+        address, thread = self.serve_in_thread(tmp_path)
+        code = main(
+            [
+                "load",
+                "--site", "sdsc", "--jobs", "40", "--seed", "10",  # serve used 9
+                "--address", address,
+                "--check", "--shutdown",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.err
+        thread.join(timeout=15.0)
+
+
+class TestApiGlue:
+    def test_api_serve_builds_engine(self):
+        engine = serve(SimulationSetup(site="sdsc", n_jobs=10, seed=1))
+        assert isinstance(engine, ServeEngine)
+        client = connect(engine)
+        assert client.ping()["ok"]
+
+    def test_api_serve_defaults(self):
+        assert isinstance(serve(), ServeEngine)

@@ -129,6 +129,56 @@ class TestMalformedInput:
         assert workload.jobs == ()
 
 
+class TestCorruptRecords:
+    """Wrong records fail loudly (ISSUE 8 hardening), unlike the merely
+    incomplete ones above that are skipped per archive convention."""
+
+    def test_duplicate_job_id_names_both_lines(self):
+        second = "0" + RECORD[1:].replace("100", "200", 1)
+        with pytest.raises(
+            SWFParseError, match=r"line 2: duplicate job id 0 .*first seen on line 1"
+        ):
+            parse_text(RECORD + "\n" + second + "\n")
+
+    def test_duplicate_detection_ignores_skipped_records(self):
+        """A skipped (cancelled) record doesn't claim its job id."""
+        cancelled = RECORD.replace("60", "0", 1)  # zero runtime: skipped
+        workload = parse_text(cancelled + "\n" + RECORD + "\n")
+        assert len(workload.jobs) == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_explicit_bad_requested_size_raises(self, bad):
+        line = RECORD.split()
+        line[7] = bad
+        with pytest.raises(
+            SWFParseError, match=rf"line 1: .*requested processor count {bad}"
+        ):
+            parse_text(" ".join(line) + "\n")
+
+    def test_explicit_bad_allocated_size_raises(self):
+        line = RECORD.split()
+        line[4] = "-7"
+        with pytest.raises(SWFParseError, match="allocated processor count -7"):
+            parse_text(" ".join(line) + "\n")
+
+    def test_unknown_sentinel_still_tolerated(self):
+        # -1 exactly is "unknown", not corrupt: requested falls back to
+        # allocated and the record parses.
+        line = RECORD.split()
+        line[7] = "-1"
+        assert parse_text(" ".join(line) + "\n").jobs[0].size == 4
+
+    def test_parse_errors_are_experiment_errors(self):
+        """CLI error handling catches ExperimentError; SWF corruption
+        must land in that bucket to die with a friendly message."""
+        from repro.errors import ExperimentError, WorkloadError
+
+        with pytest.raises(ExperimentError):
+            parse_text("1 2 3\n")
+        assert issubclass(SWFParseError, WorkloadError)
+        assert issubclass(SWFParseError, ExperimentError)
+
+
 class TestHeaderHandling:
     def test_maxprocs_header_sets_machine_size(self):
         workload = parse_text("; MaxProcs: 512\n" + RECORD + "\n")
